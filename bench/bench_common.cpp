@@ -1,0 +1,56 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+namespace deepphi::bench {
+
+void banner(const std::string& title, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("Paper: Jin et al., \"Training Large Scale Deep Neural Networks on\n"
+              "the Intel Xeon Phi Many-core Coprocessor\", IPDPSW 2014.\n");
+  std::printf("Times are simulated via the calibrated machine model (the Phi is\n"
+              "discontinued hardware); see DESIGN.md section 2 and EXPERIMENTS.md.\n");
+  std::printf("================================================================\n");
+}
+
+double phi_run_seconds(const phi::KernelStats& total_stats,
+                       std::int64_t n_chunks, double chunk_bytes,
+                       const phi::MachineSpec& spec, int threads, bool async) {
+  phi::Device device(spec, threads);
+  phi::KernelStats compute = total_stats;
+  compute.h2d_bytes = 0;
+  compute.d2h_bytes = 0;
+  compute.transfers = 0;
+  const phi::KernelStats per_chunk =
+      n_chunks > 0 ? compute.scaled(1.0 / static_cast<double>(n_chunks))
+                   : compute;
+  phi::Offload offload(device, phi::OffloadConfig{async, 4});
+  return offload.process_chunks(static_cast<int>(n_chunks), chunk_bytes, per_chunk)
+      .total_s;
+}
+
+double host_run_seconds(const phi::KernelStats& total_stats,
+                        const phi::MachineSpec& spec, int threads) {
+  phi::KernelStats compute = total_stats;
+  compute.h2d_bytes = 0;
+  compute.d2h_bytes = 0;
+  compute.transfers = 0;
+  return phi::CostModel(spec).evaluate(compute, threads).compute_s();
+}
+
+void emit(const util::Options& options, const util::Table& table) {
+  std::printf("%s\n", table.to_text().c_str());
+  if (options.has("csv")) {
+    const std::string path = options.get_string("csv");
+    table.write_csv(path);
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+void declare_common_flags(util::Options& options) {
+  options.declare("csv", "also write the result table to this CSV path");
+}
+
+}  // namespace deepphi::bench

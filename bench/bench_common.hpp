@@ -1,0 +1,44 @@
+// Shared plumbing for the per-figure/table reproduction benches.
+//
+// Every bench follows the same recipe:
+//   1. build the workload's KernelStats — analytically via
+//      core/cost_accounting (licensed by the model==measure tests) so
+//      paper-scale runs are affordable on the build machine;
+//   2. evaluate them on the calibrated MachineSpecs through CostModel /
+//      Device / Offload (transfers pipelined per Fig. 5 on the Phi);
+//   3. print the same rows/series the paper reports, plus optional CSV.
+#pragma once
+
+#include <string>
+
+#include "core/cost_accounting.hpp"
+#include "phi/cost_model.hpp"
+#include "phi/device.hpp"
+#include "phi/offload.hpp"
+#include "util/csv.hpp"
+#include "util/options.hpp"
+
+namespace deepphi::bench {
+
+/// Prints the standard bench banner (what is reproduced, from where).
+void banner(const std::string& title, const std::string& description);
+
+/// End-to-end simulated seconds of a training run on the Phi: compute from
+/// `total_stats` at `threads`, chunk transfers pipelined through the Fig. 5
+/// loading thread (`async` toggles it).
+double phi_run_seconds(const phi::KernelStats& total_stats,
+                       std::int64_t n_chunks, double chunk_bytes,
+                       const phi::MachineSpec& spec, int threads,
+                       bool async = true);
+
+/// Simulated seconds of the same work on a host machine (no transfers).
+double host_run_seconds(const phi::KernelStats& total_stats,
+                        const phi::MachineSpec& spec, int threads);
+
+/// Prints the table and, when --csv=<path> was passed, writes it there too.
+void emit(const util::Options& options, const util::Table& table);
+
+/// Declares the flags every bench shares (--csv). Call before validate().
+void declare_common_flags(util::Options& options);
+
+}  // namespace deepphi::bench

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark, real wall time on THIS machine) of the
+// compute kernels: the optimized blocked GEMM vs the naive triple loop, the
+// fused vs unfused elementwise sequences, sampling, transpose, reductions.
+// These measure the actual library (not the simulator) — the analogue of the
+// per-kernel engineering the paper's §IV describes.
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_gemm.hpp"
+#include "la/elementwise.hpp"
+#include "la/gemm.hpp"
+#include "la/reduce.hpp"
+#include "la/transpose.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace deepphi;
+
+la::Matrix random_matrix(la::Index rows, la::Index cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix m = la::Matrix::uninitialized(rows, cols);
+  for (la::Index i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const la::Index n = state.range(0);
+  la::Matrix a = random_matrix(n, n, 1);
+  la::Matrix b = random_matrix(n, n, 2);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    la::gemm_nn(1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GF/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const la::Index n = state.range(0);
+  la::Matrix a = random_matrix(n, n, 1);
+  la::Matrix b = random_matrix(n, n, 2);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    baseline::naive_gemm(la::Trans::kNo, la::Trans::kNo, 1.0f, a, b, 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GF/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmForwardShape(benchmark::State& state) {
+  // The training hot product: batch x visible times (hidden x visible)^T.
+  const la::Index batch = state.range(0);
+  la::Matrix x = random_matrix(batch, 1024, 3);
+  la::Matrix w = random_matrix(512, 1024, 4);
+  la::Matrix y(batch, 512);
+  for (auto _ : state) {
+    la::gemm_nt(1.0f, x, w, 0.0f, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["GF/s"] = benchmark::Counter(
+      2.0 * batch * 1024 * 512 * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmForwardShape)->Arg(64)->Arg(256);
+
+void BM_ElementwiseUnfused(benchmark::State& state) {
+  const la::Index n = state.range(0);
+  la::Matrix m = random_matrix(n, 512, 5);
+  la::Vector bias(512);
+  for (auto _ : state) {
+    la::add_row_broadcast(m, bias);
+    la::sigmoid_inplace(m);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_ElementwiseUnfused)->Arg(64)->Arg(512);
+
+void BM_ElementwiseFused(benchmark::State& state) {
+  const la::Index n = state.range(0);
+  la::Matrix m = random_matrix(n, 512, 5);
+  la::Vector bias(512);
+  for (auto _ : state) {
+    la::bias_sigmoid(m, bias);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_ElementwiseFused)->Arg(64)->Arg(512);
+
+void BM_SampleBernoulli(benchmark::State& state) {
+  const la::Index n = state.range(0);
+  la::Matrix mean = random_matrix(n, 512, 6);
+  for (la::Index i = 0; i < mean.size(); ++i)
+    mean.data()[i] = 0.5f + 0.4f * mean.data()[i];
+  la::Matrix out(n, 512);
+  util::Rng rng(7);
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    la::sample_bernoulli(mean, out, rng.split(step++));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SampleBernoulli)->Arg(64)->Arg(512);
+
+void BM_Transpose(benchmark::State& state) {
+  const la::Index n = state.range(0);
+  la::Matrix a = random_matrix(n, n, 8);
+  la::Matrix t(n, n);
+  for (auto _ : state) {
+    la::transpose(a, t);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_Transpose)->Arg(256)->Arg(1024);
+
+void BM_ColSum(benchmark::State& state) {
+  la::Matrix m = random_matrix(state.range(0), 1024, 9);
+  la::Vector out(1024);
+  for (auto _ : state) {
+    la::col_sum(m, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ColSum)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

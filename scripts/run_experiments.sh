@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every reproduced table and figure (EXPERIMENTS.md's source of
+# truth) into experiments_output/.
+#
+#   ./scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+OUT="experiments_output"
+mkdir -p "$OUT"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "build directory '$BUILD' not found; run:" >&2
+  echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  "$b" | tee "$OUT/$name.txt"
+  echo
+done
+echo "all outputs in $OUT/"

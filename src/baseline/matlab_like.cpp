@@ -1,0 +1,74 @@
+#include "baseline/matlab_like.hpp"
+
+namespace deepphi::baseline {
+
+namespace {
+using phi::KernelStats;
+
+// A Matlab elementwise expression of n elements: the op itself plus a
+// temporary materialization (pure copy traffic, one more dispatch).
+KernelStats matlab_elementwise(la::Index n, double flops_per_elem,
+                               double reads, double writes) {
+  KernelStats k = phi::loop_contribution(n, flops_per_elem, reads, writes);
+  k += phi::loop_contribution(n, 0.0, 1.0, 1.0);  // temporary copy
+  return k;
+}
+}  // namespace
+
+phi::KernelStats matlab_sae_batch_stats(const core::SaeShape& s) {
+  const la::Index b = s.batch, v = s.visible, h = s.hidden;
+  KernelStats k;
+  // forward
+  k += phi::gemm_contribution(b, h, v);
+  k += matlab_elementwise(b * h, 1.0, 1.0, 1.0);  // +bias (bsxfun)
+  k += matlab_elementwise(b * h, 8.0, 1.0, 1.0);  // sigmoid
+  k += phi::gemm_contribution(b, v, h);
+  k += matlab_elementwise(b * v, 1.0, 1.0, 1.0);
+  k += matlab_elementwise(b * v, 8.0, 1.0, 1.0);
+  // cost pieces
+  k += matlab_elementwise(b * h, 1.0, 1.0, 0.0);  // mean(y)
+  k += matlab_elementwise(b * v, 3.0, 2.0, 0.0);  // sum((z-x).^2)
+  k += matlab_elementwise(h * v, 2.0, 1.0, 0.0);
+  k += matlab_elementwise(v * h, 2.0, 1.0, 0.0);
+  k += matlab_elementwise(h, 12.0, 1.0, 0.0);
+  // output delta (three vectorized expressions in typical Matlab code:
+  // (z-x), z.*(1-z), product)
+  k += matlab_elementwise(b * v, 1.0, 2.0, 1.0);
+  k += matlab_elementwise(b * v, 2.0, 1.0, 1.0);
+  k += matlab_elementwise(b * v, 1.0, 2.0, 1.0);
+  // W2/b2 gradients
+  k += phi::gemm_contribution(v, h, b);
+  k += matlab_elementwise(v * h, 2.0, 2.0, 1.0);
+  k += matlab_elementwise(b * v, 1.0, 1.0, 0.0);
+  // hidden delta
+  k += phi::gemm_contribution(b, h, v);
+  k += matlab_elementwise(h, 6.0, 1.0, 1.0);
+  k += matlab_elementwise(b * h, 1.0, 1.0, 1.0);
+  k += matlab_elementwise(b * h, 2.0, 1.0, 1.0);
+  k += matlab_elementwise(b * h, 1.0, 2.0, 1.0);
+  // W1/b1 gradients
+  k += phi::gemm_contribution(h, v, b);
+  k += matlab_elementwise(h * v, 2.0, 2.0, 1.0);
+  k += matlab_elementwise(b * h, 1.0, 1.0, 0.0);
+  // SGD update, one vectorized expression per parameter
+  k += matlab_elementwise(h * v, 2.0, 2.0, 1.0);
+  k += matlab_elementwise(h, 2.0, 2.0, 1.0);
+  k += matlab_elementwise(v * h, 2.0, 2.0, 1.0);
+  k += matlab_elementwise(v, 2.0, 2.0, 1.0);
+  return k;
+}
+
+phi::KernelStats matlab_sae_train_stats(const core::TrainShape& run,
+                                        const core::SaeShape& shape) {
+  KernelStats k;
+  for (int epoch = 0; epoch < run.epochs; ++epoch) {
+    for (la::Index begin = 0; begin < run.examples; begin += run.batch) {
+      core::SaeShape s = shape;
+      s.batch = std::min(run.batch, run.examples - begin);
+      k += matlab_sae_batch_stats(s);
+    }
+  }
+  return k;
+}
+
+}  // namespace deepphi::baseline

@@ -1,0 +1,34 @@
+// The Fig. 10 comparator: "a Matlab code ... on the same single Xeon CPU
+// [platform]; Matlab has its own optimization of matrix operations".
+//
+// What distinguishes a Matlab implementation is not the math (identical) but
+// the execution profile: matrix products go to an optimized multithreaded
+// BLAS, while every other vectorized expression pays interpreter dispatch
+// and materializes full temporaries. We model that as:
+//
+//  * work     — the unfused matrix-form step (each elementwise op its own
+//               kernel) plus one extra temporary-copy pass per elementwise
+//               op (Matlab's out-of-place semantics);
+//  * machine  — phi::matlab_host(): BLAS-grade gemm efficiency, low loop
+//               efficiency, software_overhead ≈ 3 and dispatch_us per kernel.
+//
+// matlab_sae_batch_stats builds the work bundle; benches evaluate it on the
+// matlab_host MachineSpec.
+#pragma once
+
+#include "core/cost_accounting.hpp"
+
+namespace deepphi::baseline {
+
+/// KernelStats of one Matlab-style SAE gradient + SGD update at the given
+/// shape: the unfused matrix-form sequence with an extra temporary-copy pass
+/// per elementwise kernel.
+phi::KernelStats matlab_sae_batch_stats(const core::SaeShape& shape);
+
+/// Full-run Matlab-style stats (chunking is irrelevant on the host — data is
+/// local — but batching matters; mirrors core::sae_train_stats structure
+/// with zero transfer traffic).
+phi::KernelStats matlab_sae_train_stats(const core::TrainShape& run,
+                                        const core::SaeShape& shape);
+
+}  // namespace deepphi::baseline

@@ -1,0 +1,16 @@
+// Naive triple-loop GEMM — the correctness oracle for la::gemm and the
+// reference point of the micro-kernel benchmark. Accumulates in double so it
+// is strictly more accurate than the optimized kernel it checks.
+#pragma once
+
+#include "la/gemm.hpp"
+#include "la/matrix.hpp"
+
+namespace deepphi::baseline {
+
+/// C = alpha · op(A)·op(B) + beta · C, computed with the textbook loop nest.
+void naive_gemm(la::Trans trans_a, la::Trans trans_b, float alpha,
+                const la::Matrix& a, const la::Matrix& b, float beta,
+                la::Matrix& c);
+
+}  // namespace deepphi::baseline

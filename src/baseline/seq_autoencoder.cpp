@@ -1,0 +1,126 @@
+#include "baseline/seq_autoencoder.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepphi::baseline {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double clamp01(double q) {
+  return std::min(std::max(q, 1e-6), 1.0 - 1e-6);
+}
+}  // namespace
+
+SaeReference::SaeReference(const core::SparseAutoencoder& model) {
+  visible = model.visible();
+  hidden = model.hidden();
+  lambda = model.config().lambda;
+  rho = model.config().rho;
+  beta = model.config().beta;
+  auto snapshot = [](const float* p, la::Index n, std::vector<double>& out) {
+    out.assign(p, p + n);
+  };
+  snapshot(model.w1().data(), model.w1().size(), w1);
+  snapshot(model.b1().data(), model.b1().size(), b1);
+  snapshot(model.w2().data(), model.w2().size(), w2);
+  snapshot(model.b2().data(), model.b2().size(), b2);
+}
+
+double SaeReference::cost(const la::Matrix& x) const {
+  std::vector<double> gw1, gb1, gw2, gb2;
+  return gradient(x, gw1, gb1, gw2, gb2);
+}
+
+double SaeReference::gradient(const la::Matrix& x, std::vector<double>& g_w1,
+                              std::vector<double>& g_b1,
+                              std::vector<double>& g_w2,
+                              std::vector<double>& g_b2) const {
+  DEEPPHI_CHECK_MSG(x.cols() == visible, "reference input dim mismatch");
+  const la::Index m = x.rows();
+  const std::size_t v = static_cast<std::size_t>(visible);
+  const std::size_t h = static_cast<std::size_t>(hidden);
+
+  g_w1.assign(h * v, 0.0);
+  g_b1.assign(h, 0.0);
+  g_w2.assign(v * h, 0.0);
+  g_b2.assign(v, 0.0);
+
+  // Pass 1: forward every example; accumulate ρ̂ and reconstruction error,
+  // and cache activations for the backward pass.
+  std::vector<double> y_all(static_cast<std::size_t>(m) * h);
+  std::vector<double> z_all(static_cast<std::size_t>(m) * v);
+  std::vector<double> rho_hat(h, 0.0);
+  double recon = 0.0;
+  for (la::Index e = 0; e < m; ++e) {
+    const float* xe = x.row(e);
+    double* y = &y_all[static_cast<std::size_t>(e) * h];
+    double* z = &z_all[static_cast<std::size_t>(e) * v];
+    for (std::size_t i = 0; i < h; ++i) {
+      double a = b1[i];
+      for (std::size_t j = 0; j < v; ++j) a += w1[i * v + j] * xe[j];
+      y[i] = sigmoid(a);
+      rho_hat[i] += y[i];
+    }
+    for (std::size_t j = 0; j < v; ++j) {
+      double a = b2[j];
+      for (std::size_t i = 0; i < h; ++i) a += w2[j * h + i] * y[i];
+      z[j] = sigmoid(a);
+      const double d = z[j] - xe[j];
+      recon += d * d;
+    }
+  }
+  for (std::size_t i = 0; i < h; ++i) rho_hat[i] /= static_cast<double>(m);
+
+  // Sparsity delta per hidden unit.
+  std::vector<double> sparse(h);
+  double kl = 0.0;
+  for (std::size_t i = 0; i < h; ++i) {
+    const double q = clamp01(rho_hat[i]);
+    kl += rho * std::log(rho / q) + (1.0 - rho) * std::log((1.0 - rho) / (1.0 - q));
+    sparse[i] = beta * (-rho / q + (1.0 - rho) / (1.0 - q));
+  }
+
+  // Pass 2: backprop per example, accumulating gradients.
+  for (la::Index e = 0; e < m; ++e) {
+    const float* xe = x.row(e);
+    const double* y = &y_all[static_cast<std::size_t>(e) * h];
+    const double* z = &z_all[static_cast<std::size_t>(e) * v];
+    std::vector<double> d2(v);
+    for (std::size_t j = 0; j < v; ++j)
+      d2[j] = (z[j] - xe[j]) * z[j] * (1.0 - z[j]);
+    for (std::size_t j = 0; j < v; ++j) {
+      g_b2[j] += d2[j];
+      for (std::size_t i = 0; i < h; ++i) g_w2[j * h + i] += d2[j] * y[i];
+    }
+    std::vector<double> d1(h);
+    for (std::size_t i = 0; i < h; ++i) {
+      double back = 0.0;
+      for (std::size_t j = 0; j < v; ++j) back += d2[j] * w2[j * h + i];
+      d1[i] = (back + sparse[i]) * y[i] * (1.0 - y[i]);
+    }
+    for (std::size_t i = 0; i < h; ++i) {
+      g_b1[i] += d1[i];
+      for (std::size_t j = 0; j < v; ++j) g_w1[i * v + j] += d1[i] * xe[j];
+    }
+  }
+
+  // Average and add the weight-decay term.
+  const double inv_m = 1.0 / static_cast<double>(m);
+  double decay = 0.0;
+  for (std::size_t i = 0; i < h * v; ++i) {
+    g_w1[i] = g_w1[i] * inv_m + lambda * w1[i];
+    decay += w1[i] * w1[i];
+  }
+  for (std::size_t i = 0; i < v * h; ++i) {
+    g_w2[i] = g_w2[i] * inv_m + lambda * w2[i];
+    decay += w2[i] * w2[i];
+  }
+  for (std::size_t i = 0; i < h; ++i) g_b1[i] *= inv_m;
+  for (std::size_t j = 0; j < v; ++j) g_b2[j] *= inv_m;
+
+  return recon * inv_m / 2.0 + 0.5 * lambda * decay + beta * kl;
+}
+
+}  // namespace deepphi::baseline

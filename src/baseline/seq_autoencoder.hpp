@@ -1,0 +1,33 @@
+// Independent double-precision reference implementation of the Sparse
+// Autoencoder cost and gradient — written example-by-example from the
+// paper's equations (3)–(6), sharing no code with the optimized path. The
+// gradient-parity tests check the batched float implementation against this
+// oracle; the finite-difference tests check this oracle against the cost
+// itself.
+#pragma once
+
+#include <vector>
+
+#include "core/sparse_autoencoder.hpp"
+
+namespace deepphi::baseline {
+
+struct SaeReference {
+  // Flat double copies of the parameters (layouts match the model).
+  std::vector<double> w1, b1, w2, b2;
+  la::Index visible = 0, hidden = 0;
+  float lambda = 0, rho = 0, beta = 0;
+
+  /// Snapshot of `model`'s parameters and hyperparameters.
+  explicit SaeReference(const core::SparseAutoencoder& model);
+
+  /// Cost J over the batch (x is batch×visible).
+  double cost(const la::Matrix& x) const;
+
+  /// Cost + gradient over the batch, layouts matching AeGradients.
+  double gradient(const la::Matrix& x, std::vector<double>& g_w1,
+                  std::vector<double>& g_b1, std::vector<double>& g_w2,
+                  std::vector<double>& g_b2) const;
+};
+
+}  // namespace deepphi::baseline

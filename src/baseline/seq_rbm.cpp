@@ -1,0 +1,134 @@
+#include "baseline/seq_rbm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepphi::baseline {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}
+
+RbmReference::RbmReference(const core::Rbm& model) {
+  visible = model.visible();
+  hidden = model.hidden();
+  cd_k = model.config().cd_k;
+  sample_visible = model.config().sample_visible;
+  gaussian_visible =
+      model.config().visible_type == core::VisibleType::kGaussian;
+  w.assign(model.w().data(), model.w().data() + model.w().size());
+  b.assign(model.b().data(), model.b().data() + model.b().size());
+  c.assign(model.c().data(), model.c().data() + model.c().size());
+}
+
+double RbmReference::gradient(const la::Matrix& v1, const util::Rng& rng,
+                              std::vector<double>& g_w, std::vector<double>& g_b,
+                              std::vector<double>& g_c) const {
+  DEEPPHI_CHECK_MSG(v1.cols() == visible, "reference input dim mismatch");
+  const la::Index m = v1.rows();
+  const std::size_t nv = static_cast<std::size_t>(visible);
+  const std::size_t nh = static_cast<std::size_t>(hidden);
+
+  g_w.assign(nh * nv, 0.0);
+  g_b.assign(nv, 0.0);
+  g_c.assign(nh, 0.0);
+  double recon = 0.0;
+
+  // Per-example chain; the per-row noise streams are pre-split exactly like
+  // the batched kernels do: phase stream split(phase), then row split(r).
+  const util::Rng h1_noise = rng.split(0);
+
+  std::vector<double> h1_mean(nh), h2_mean(nh), v2(nv), h_state(nh);
+  for (la::Index e = 0; e < m; ++e) {
+    const float* ve = v1.row(e);
+    util::Rng row_h1 = h1_noise.split(static_cast<std::uint64_t>(e));
+
+    // Positive phase.
+    for (std::size_t i = 0; i < nh; ++i) {
+      double a = c[i];
+      for (std::size_t j = 0; j < nv; ++j) a += w[i * nv + j] * ve[j];
+      h1_mean[i] = sigmoid(a);
+      h_state[i] =
+          row_h1.uniform_float() < static_cast<float>(h1_mean[i]) ? 1.0 : 0.0;
+    }
+
+    // Gibbs chain.
+    for (int step = 0; step < cd_k; ++step) {
+      for (std::size_t j = 0; j < nv; ++j) {
+        double a = b[j];
+        for (std::size_t i = 0; i < nh; ++i) a += w[i * nv + j] * h_state[i];
+        v2[j] = gaussian_visible ? a : sigmoid(a);
+      }
+      if (sample_visible) {
+        util::Rng row_v =
+            rng.split(100 + step).split(static_cast<std::uint64_t>(e));
+        if (gaussian_visible) {
+          for (std::size_t j = 0; j < nv; ++j) v2[j] += row_v.normal();
+        } else {
+          for (std::size_t j = 0; j < nv; ++j)
+            v2[j] =
+                row_v.uniform_float() < static_cast<float>(v2[j]) ? 1.0 : 0.0;
+        }
+      }
+      for (std::size_t i = 0; i < nh; ++i) {
+        double a = c[i];
+        for (std::size_t j = 0; j < nv; ++j) a += w[i * nv + j] * v2[j];
+        h2_mean[i] = sigmoid(a);
+      }
+      if (step + 1 < cd_k) {
+        util::Rng row_h =
+            rng.split(200 + step).split(static_cast<std::uint64_t>(e));
+        for (std::size_t i = 0; i < nh; ++i)
+          h_state[i] =
+              row_h.uniform_float() < static_cast<float>(h2_mean[i]) ? 1.0 : 0.0;
+      }
+    }
+
+    // Descent statistics: g = (model − data)/m.
+    for (std::size_t i = 0; i < nh; ++i) {
+      for (std::size_t j = 0; j < nv; ++j)
+        g_w[i * nv + j] += h2_mean[i] * v2[j] - h1_mean[i] * ve[j];
+      g_c[i] += h2_mean[i] - h1_mean[i];
+    }
+    for (std::size_t j = 0; j < nv; ++j) {
+      g_b[j] += v2[j] - ve[j];
+      const double d = ve[j] - v2[j];
+      recon += d * d;
+    }
+  }
+
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (auto& g : g_w) g *= inv_m;
+  for (auto& g : g_b) g *= inv_m;
+  for (auto& g : g_c) g *= inv_m;
+  return recon * inv_m;
+}
+
+double RbmReference::free_energy(const la::Matrix& v) const {
+  DEEPPHI_CHECK_MSG(v.cols() == visible, "reference input dim mismatch");
+  const std::size_t nv = static_cast<std::size_t>(visible);
+  const std::size_t nh = static_cast<std::size_t>(hidden);
+  double total = 0.0;
+  for (la::Index e = 0; e < v.rows(); ++e) {
+    const float* ve = v.row(e);
+    double fe = 0.0;
+    for (std::size_t j = 0; j < nv; ++j) {
+      if (gaussian_visible) {
+        const double d = ve[j] - b[j];
+        fe += 0.5 * d * d;
+      } else {
+        fe -= b[j] * ve[j];
+      }
+    }
+    for (std::size_t i = 0; i < nh; ++i) {
+      double a = c[i];
+      for (std::size_t j = 0; j < nv; ++j) a += w[i * nv + j] * ve[j];
+      fe -= a > 30 ? a : std::log1p(std::exp(a));
+    }
+    total += fe;
+  }
+  return total / static_cast<double>(v.rows());
+}
+
+}  // namespace deepphi::baseline

@@ -1,0 +1,34 @@
+// Independent double-precision reference of the RBM CD-k gradient, written
+// example-by-example from the paper's equations (8)–(13). It consumes Gibbs
+// noise through the SAME (rng.split(phase)).split(row) stream convention as
+// the optimized kernels, so given equal parameters both implementations
+// sample identical binary states and the parity tests can compare gradients
+// exactly (up to float/double accumulation).
+#pragma once
+
+#include <vector>
+
+#include "core/rbm.hpp"
+
+namespace deepphi::baseline {
+
+struct RbmReference {
+  std::vector<double> w, b, c;  // layouts match the model
+  la::Index visible = 0, hidden = 0;
+  int cd_k = 1;
+  bool sample_visible = false;
+  bool gaussian_visible = false;
+
+  explicit RbmReference(const core::Rbm& model);
+
+  /// CD-k descent gradient (layouts matching RbmGradients); returns the mean
+  /// squared reconstruction error.
+  double gradient(const la::Matrix& v1, const util::Rng& rng,
+                  std::vector<double>& g_w, std::vector<double>& g_b,
+                  std::vector<double>& g_c) const;
+
+  /// Mean free energy over the batch.
+  double free_energy(const la::Matrix& v) const;
+};
+
+}  // namespace deepphi::baseline

@@ -1,0 +1,29 @@
+// Loop-form Sparse Autoencoder training step — the bottom half of the
+// Table I ladder. The math is identical to SparseAutoencoder::gradient but
+// every operation is a naive scalar loop (triple-loop matrix products, one
+// loop per elementwise op, no blocking, no packing, no SIMD pragmas):
+//
+//   parallel = false → the paper's "Baseline" (sequential) row;
+//   parallel = true  → the paper's "OpenMP" row ("we used OpenMP to
+//                      parallelize all the loops") — same loops, each wrapped
+//                      in its own parallel region.
+//
+// Work is recorded in the naive KernelStats class so the cost model charges
+// it at scalar rates.
+#pragma once
+
+#include "core/gradient_buffers.hpp"
+#include "core/sparse_autoencoder.hpp"
+
+namespace deepphi::core {
+
+/// Forward + backprop via naive loops; fills `grads`, returns the batch cost.
+double sae_gradient_loops(const SparseAutoencoder& model, const la::Matrix& x,
+                          SparseAutoencoder::Workspace& ws, AeGradients& grads,
+                          bool parallel);
+
+/// θ ← θ − lr · g via naive loops.
+void sae_apply_update_loops(SparseAutoencoder& model, const AeGradients& grads,
+                            float lr, bool parallel);
+
+}  // namespace deepphi::core

@@ -1,0 +1,153 @@
+#include "core/batch_opt.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+double l2_norm(const std::vector<float>& v) { return std::sqrt(dot(v, v)); }
+
+double dot(const std::vector<float>& v, const std::vector<float>& w) {
+  DEEPPHI_CHECK_MSG(v.size() == w.size(), "dot size mismatch");
+  double acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    acc += static_cast<double>(v[i]) * w[i];
+  return acc;
+}
+
+namespace {
+
+// Evaluates phi(step) = f(x0 + step*d) into (x_out, grad_out); returns
+// {cost, directional derivative}.
+std::pair<double, double> eval_along(const Objective& objective,
+                                     const std::vector<float>& x0,
+                                     const std::vector<float>& direction,
+                                     double step, std::vector<float>& x_out,
+                                     std::vector<float>& grad_out) {
+  for (std::size_t i = 0; i < x0.size(); ++i)
+    x_out[i] = x0[i] + static_cast<float>(step) * direction[i];
+  const double cost = objective(x_out.data(), grad_out.data());
+  return {cost, dot(grad_out, direction)};
+}
+
+LineSearchResult armijo_backtracking(const Objective& objective,
+                                     const std::vector<float>& x0, double cost0,
+                                     double dir_deriv,
+                                     const std::vector<float>& direction,
+                                     const LineSearchConfig& config,
+                                     std::vector<float>& x_out,
+                                     std::vector<float>& grad_out) {
+  LineSearchResult result;
+  double step = config.initial_step;
+  for (int e = 0; e < config.max_evals; ++e) {
+    const auto [cost, deriv] =
+        eval_along(objective, x0, direction, step, x_out, grad_out);
+    (void)deriv;
+    ++result.evals;
+    if (cost <= cost0 + config.armijo_c1 * step * dir_deriv) {
+      result.step = step;
+      result.cost = cost;
+      result.success = true;
+      return result;
+    }
+    step *= config.backtrack;
+  }
+  return result;
+}
+
+// Strong-Wolfe search: bracketing phase (Nocedal & Wright alg. 3.5) followed
+// by bisection zoom (alg. 3.6).
+LineSearchResult strong_wolfe(const Objective& objective,
+                              const std::vector<float>& x0, double cost0,
+                              double dir_deriv,
+                              const std::vector<float>& direction,
+                              const LineSearchConfig& config,
+                              std::vector<float>& x_out,
+                              std::vector<float>& grad_out) {
+  LineSearchResult result;
+  const double c1 = config.armijo_c1;
+  const double c2 = config.wolfe_c2;
+
+  auto phi = [&](double step) {
+    ++result.evals;
+    return eval_along(objective, x0, direction, step, x_out, grad_out);
+  };
+  auto accept = [&](double step, double cost) {
+    result.step = step;
+    result.cost = cost;
+    result.success = true;
+  };
+
+  // Zoom on a bracket [lo, hi] known to contain a Wolfe point.
+  auto zoom = [&](double lo, double f_lo, double hi) {
+    while (result.evals < config.max_evals) {
+      const double mid = 0.5 * (lo + hi);
+      const auto [f_mid, d_mid] = phi(mid);
+      if (f_mid > cost0 + c1 * mid * dir_deriv || f_mid >= f_lo) {
+        hi = mid;
+      } else {
+        if (std::fabs(d_mid) <= -c2 * dir_deriv) {
+          accept(mid, f_mid);
+          return;
+        }
+        if (d_mid * (hi - lo) >= 0) hi = lo;
+        lo = mid;
+        f_lo = f_mid;
+      }
+      if (std::fabs(hi - lo) < 1e-16) break;
+    }
+    // Bracket collapsed: take lo if it at least satisfies Armijo.
+    const auto [f_lo2, d_lo2] = phi(lo);
+    (void)d_lo2;
+    if (f_lo2 <= cost0 + c1 * lo * dir_deriv && lo > 0) accept(lo, f_lo2);
+  };
+
+  double prev_step = 0.0;
+  double prev_cost = cost0;
+  double step = config.initial_step;
+  while (result.evals < config.max_evals) {
+    const auto [cost, deriv] = phi(step);
+    if (cost > cost0 + c1 * step * dir_deriv ||
+        (result.evals > 1 && cost >= prev_cost)) {
+      zoom(prev_step, prev_cost, step);
+      return result;
+    }
+    if (std::fabs(deriv) <= -c2 * dir_deriv) {
+      accept(step, cost);
+      return result;
+    }
+    if (deriv >= 0) {
+      zoom(step, cost, prev_step);
+      return result;
+    }
+    prev_step = step;
+    prev_cost = cost;
+    step *= 2.0;  // expand the bracket
+  }
+  return result;
+}
+
+}  // namespace
+
+LineSearchResult line_search(const Objective& objective,
+                             const std::vector<float>& x0, double cost0,
+                             const std::vector<float>& grad0,
+                             const std::vector<float>& direction,
+                             const LineSearchConfig& config,
+                             std::vector<float>& x_out,
+                             std::vector<float>& grad_out) {
+  LineSearchResult result;
+  const double dir_deriv = dot(grad0, direction);
+  DEEPPHI_CHECK_MSG(x0.size() == direction.size(), "line search size mismatch");
+  if (dir_deriv >= 0) return result;  // not a descent direction
+  x_out.resize(x0.size());
+  grad_out.resize(x0.size());
+  if (config.strong_wolfe)
+    return strong_wolfe(objective, x0, cost0, dir_deriv, direction, config,
+                        x_out, grad_out);
+  return armijo_backtracking(objective, x0, cost0, dir_deriv, direction,
+                             config, x_out, grad_out);
+}
+
+}  // namespace deepphi::core

@@ -1,0 +1,67 @@
+// Batch optimization methods (paper §III: "the batch methods like limited
+// memory BFGS (L-BFGS) or Conjugate Gradient (CG) [have] been proposed ...
+// These methods make it easier to parallelize the deep learning
+// algorithms"). Both operate on a flattened parameter vector through a
+// caller-supplied objective:
+//
+//   Objective(params, grad_out) → cost, with grad_out = ∂cost/∂params.
+//
+// Shared pieces (Armijo backtracking line search, convergence report) live
+// here; the algorithms are lbfgs.hpp / cg.hpp.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace deepphi::core {
+
+/// Evaluates cost and gradient at `params` (both sized n).
+using Objective = std::function<double(const float* params, float* grad_out)>;
+
+struct LineSearchConfig {
+  double initial_step = 1.0;
+  double backtrack = 0.5;   // step shrink factor (Armijo mode)
+  double armijo_c1 = 1e-4;  // sufficient-decrease constant
+  double wolfe_c2 = 0.9;    // curvature constant (strong-Wolfe mode)
+  /// Strong-Wolfe bracketing + zoom (Nocedal & Wright alg. 3.5/3.6) instead
+  /// of plain Armijo backtracking. Quasi-Newton methods want it: the
+  /// curvature condition keeps the L-BFGS (s, y) pairs well-scaled.
+  bool strong_wolfe = false;
+  int max_evals = 25;
+};
+
+struct LineSearchResult {
+  double step = 0;       // accepted step (0 = failed)
+  double cost = 0;       // cost at the accepted point
+  int evals = 0;         // objective evaluations used
+  bool success = false;
+};
+
+/// Line search along `direction` from `x0` (cost0, grad0 given): Armijo
+/// backtracking, or strong-Wolfe bracket+zoom when config.strong_wolfe is
+/// set. On success, `x_out` holds the accepted point and `grad_out` its
+/// gradient.
+LineSearchResult line_search(const Objective& objective,
+                             const std::vector<float>& x0, double cost0,
+                             const std::vector<float>& grad0,
+                             const std::vector<float>& direction,
+                             const LineSearchConfig& config,
+                             std::vector<float>& x_out,
+                             std::vector<float>& grad_out);
+
+struct BatchOptReport {
+  double initial_cost = 0;
+  double final_cost = 0;
+  int iterations = 0;
+  int objective_evals = 0;
+  bool converged = false;  // gradient norm fell under tolerance
+  std::vector<double> cost_history;
+};
+
+/// ‖v‖₂ in double precision.
+double l2_norm(const std::vector<float>& v);
+
+/// vᵀw in double precision.
+double dot(const std::vector<float>& v, const std::vector<float>& w);
+
+}  // namespace deepphi::core

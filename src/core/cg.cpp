@@ -1,0 +1,75 @@
+#include "core/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+BatchOptReport cg_minimize(const Objective& objective,
+                           std::vector<float>& params, const CgConfig& config) {
+  DEEPPHI_CHECK(objective != nullptr);
+  const std::size_t n = params.size();
+  const int restart =
+      config.restart_every > 0
+          ? config.restart_every
+          : std::max(1, static_cast<int>(std::min<std::size_t>(n, 1000)));
+
+  BatchOptReport report;
+  std::vector<float> grad(n), new_x, new_grad, direction(n);
+  double cost = objective(params.data(), grad.data());
+  ++report.objective_evals;
+  report.initial_cost = cost;
+  report.cost_history.push_back(cost);
+
+  for (std::size_t j = 0; j < n; ++j) direction[j] = -grad[j];
+  int since_restart = 0;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    if (l2_norm(grad) <= config.grad_tolerance) {
+      report.converged = true;
+      break;
+    }
+
+    LineSearchResult ls = line_search(objective, params, cost, grad, direction,
+                                      config.line_search, new_x, new_grad);
+    report.objective_evals += ls.evals;
+    if (!ls.success) {
+      // Restart with steepest descent; stop if even that fails.
+      for (std::size_t j = 0; j < n; ++j) direction[j] = -grad[j];
+      since_restart = 0;
+      ls = line_search(objective, params, cost, grad, direction,
+                       config.line_search, new_x, new_grad);
+      report.objective_evals += ls.evals;
+      if (!ls.success) break;
+    }
+
+    // Polak–Ribière+ beta from the accepted gradient pair.
+    double num = 0, den = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      num += static_cast<double>(new_grad[j]) * (new_grad[j] - grad[j]);
+      den += static_cast<double>(grad[j]) * grad[j];
+    }
+    double beta = den > 0 ? std::max(0.0, num / den) : 0.0;
+    ++since_restart;
+    if (since_restart >= restart) {
+      beta = 0.0;
+      since_restart = 0;
+    }
+
+    for (std::size_t j = 0; j < n; ++j)
+      direction[j] = -new_grad[j] + static_cast<float>(beta) * direction[j];
+
+    params = new_x;
+    grad = new_grad;
+    cost = ls.cost;
+    ++report.iterations;
+    report.cost_history.push_back(cost);
+  }
+
+  report.final_cost = cost;
+  return report;
+}
+
+}  // namespace deepphi::core

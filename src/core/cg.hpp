@@ -1,0 +1,21 @@
+// Nonlinear conjugate gradient (Polak–Ribière+ with automatic restarts) —
+// the second batch method from the paper's related work (Hestenes & Stiefel
+// lineage).
+#pragma once
+
+#include "core/batch_opt.hpp"
+
+namespace deepphi::core {
+
+struct CgConfig {
+  int max_iterations = 100;
+  double grad_tolerance = 1e-5;
+  int restart_every = 0;  // 0 = dimension-based restart (every n iterations)
+  LineSearchConfig line_search;
+};
+
+/// Minimizes `objective` starting from `params` (updated in place).
+BatchOptReport cg_minimize(const Objective& objective,
+                           std::vector<float>& params, const CgConfig& config);
+
+}  // namespace deepphi::core

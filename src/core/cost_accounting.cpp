@@ -1,0 +1,348 @@
+#include "core/cost_accounting.hpp"
+
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+namespace {
+
+using phi::KernelStats;
+using phi::gemm_contribution;
+using phi::loop_contribution;
+using phi::naive_gemm_contribution;
+using phi::naive_loop_contribution;
+
+// One Optimizer::update call on an n-element parameter (matrix-form levels).
+KernelStats optimizer_update(la::Index n, OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return loop_contribution(n, 2.0, 2.0, 1.0);
+    case OptimizerKind::kMomentum: return loop_contribution(n, 4.0, 3.0, 2.0);
+    case OptimizerKind::kAdagrad: return loop_contribution(n, 6.0, 3.0, 2.0);
+  }
+  return {};
+}
+
+// --- SAE, matrix form (mirrors SparseAutoencoder::gradient) ---
+KernelStats sae_matrix_gradient(const SaeShape& s, bool fused) {
+  const la::Index b = s.batch, v = s.visible, h = s.hidden;
+  KernelStats k;
+  // forward: y = sigmoid(x·W1ᵀ + b1)
+  k += gemm_contribution(b, h, v);
+  if (fused) {
+    k += loop_contribution(b * h, 9.0, 1.0, 1.0);  // bias_sigmoid
+  } else {
+    k += naive_loop_contribution(b * h, 1.0, 1, 1);    // add_row_broadcast
+    k += naive_loop_contribution(b * h, 400.0, 1, 1);  // sigmoid_inplace (scalar exp)
+  }
+  // forward: z = sigmoid(y·W2ᵀ + b2)
+  k += gemm_contribution(b, v, h);
+  if (fused) {
+    k += loop_contribution(b * v, 9.0, 1.0, 1.0);
+  } else {
+    k += naive_loop_contribution(b * v, 1.0, 1, 1);
+    k += naive_loop_contribution(b * v, 400.0, 1, 1);
+  }
+  // cost pieces
+  k += loop_contribution(b * h, 1.0, 1.0, 0.0);  // col_mean (via col_sum)
+  k += loop_contribution(b * v, 3.0, 2.0, 0.0);  // sum_sq_diff
+  k += loop_contribution(h * v, 2.0, 1.0, 0.0);  // nrm2sq(W1)
+  k += loop_contribution(v * h, 2.0, 1.0, 0.0);  // nrm2sq(W2)
+  k += loop_contribution(h, 12.0, 1.0, 0.0);     // kl_divergence
+  // output delta
+  if (fused) {
+    k += loop_contribution(b * v, 4.0, 2.0, 1.0);  // output_delta
+  } else {
+    k += naive_loop_contribution(b * v, 1.0, 2, 1);  // sub
+    k += naive_loop_contribution(b * v, 3.0, 2, 1);  // dsigmoid_mul
+  }
+  // W2/b2 gradients
+  k += gemm_contribution(v, h, b);
+  k += loop_contribution(v * h, 2.0, 2.0, 1.0);  // axpy(λ·W2)
+  k += loop_contribution(b * v, 1.0, 1.0, 0.0);  // col_sum
+  k += loop_contribution(v, 1.0, 1.0, 1.0);      // scal
+  // hidden delta
+  k += gemm_contribution(b, h, v);               // delta2·W2
+  k += loop_contribution(h, 6.0, 1.0, 1.0);      // sparsity_delta
+  if (fused) {
+    k += loop_contribution(b * h, 4.0, 2.0, 1.0);  // hidden_delta
+  } else {
+    k += naive_loop_contribution(b * h, 1.0, 1, 1);  // add_row_broadcast
+    k += naive_loop_contribution(b * h, 3.0, 2, 1);  // dsigmoid_mul
+  }
+  // W1/b1 gradients
+  k += gemm_contribution(h, v, b);
+  k += loop_contribution(h * v, 2.0, 2.0, 1.0);
+  k += loop_contribution(b * h, 1.0, 1.0, 0.0);
+  k += loop_contribution(h, 1.0, 1.0, 1.0);
+  if (s.tied_weights) {
+    k += loop_contribution(v * h, 0.0, 1.0, 1.0);  // transpose g_w2
+    k += loop_contribution(h * v, 2.0, 2.0, 1.0);  // axpy combine
+    k += loop_contribution(h * v, 0.0, 1.0, 1.0);  // transpose back
+  }
+  return k;
+}
+
+// --- SAE, loop form (mirrors sae_gradient_loops) ---
+KernelStats sae_loop_gradient(const SaeShape& s) {
+  const la::Index b = s.batch, v = s.visible, h = s.hidden;
+  KernelStats k;
+  k += naive_gemm_contribution(b, h, v);          // matmul_nt
+  k += naive_loop_contribution(b * h, 1.0, 1, 1); // add_bias
+  k += naive_loop_contribution(b * h, 400.0, 1, 1);  // sigmoid (scalar exp)
+  k += naive_gemm_contribution(b, v, h);
+  k += naive_loop_contribution(b * v, 1.0, 1, 1);
+  k += naive_loop_contribution(b * v, 400.0, 1, 1);
+  k += naive_loop_contribution(b * h, 1.0, 1, 0); // col_mean
+  k += naive_loop_contribution(b * v, 3.0, 2, 0); // sum_sq_diff
+  k += naive_loop_contribution(h * v, 2.0, 1, 0); // nrm2sq(W1)
+  k += naive_loop_contribution(v * h, 2.0, 1, 0); // nrm2sq(W2)
+  k += naive_loop_contribution(h, 12.0, 1, 0);    // kl
+  k += naive_loop_contribution(b * v, 1.0, 2, 1); // sub
+  k += naive_loop_contribution(b * v, 3.0, 2, 1); // dsigmoid
+  k += naive_gemm_contribution(v, h, b);          // matmul_tn
+  k += naive_loop_contribution(v * h, 2.0, 2, 1); // axpy(λW2)
+  k += naive_loop_contribution(b * v, 1.0, 1, 0); // col_sum_scaled
+  k += naive_gemm_contribution(b, h, v);          // matmul_nn
+  k += naive_loop_contribution(h, 6.0, 1, 1);     // sparsity
+  k += naive_loop_contribution(b * h, 1.0, 1, 1); // add_bias(sparse)
+  k += naive_loop_contribution(b * h, 3.0, 2, 1); // dsigmoid
+  k += naive_gemm_contribution(h, v, b);
+  k += naive_loop_contribution(h * v, 2.0, 2, 1);
+  k += naive_loop_contribution(b * h, 1.0, 1, 0);
+  return k;
+}
+
+KernelStats sae_loop_update(const SaeShape& s) {
+  const la::Index v = s.visible, h = s.hidden;
+  KernelStats k;
+  k += naive_loop_contribution(h * v, 2.0, 2, 1);
+  k += naive_loop_contribution(h, 2.0, 2, 1);
+  k += naive_loop_contribution(v * h, 2.0, 2, 1);
+  k += naive_loop_contribution(v, 2.0, 2, 1);
+  return k;
+}
+
+// --- RBM, matrix form (mirrors Rbm::gradient) ---
+KernelStats rbm_matrix_gradient(const RbmShape& s, bool fused) {
+  const la::Index b = s.batch, v = s.visible, h = s.hidden;
+  KernelStats k;
+  // positive phase
+  k += gemm_contribution(b, h, v);
+  if (fused) {
+    k += loop_contribution(b * h, 20.0, 1.0, 2.0);  // bias_sigmoid_sample
+  } else {
+    k += naive_loop_contribution(b * h, 1.0, 1, 1);
+    k += naive_loop_contribution(b * h, 400.0, 1, 1);
+    k += naive_loop_contribution(b * h, 100.0, 1, 1);  // sample (scalar RNG)
+  }
+  // Gibbs chain
+  for (int step = 0; step < s.cd_k; ++step) {
+    k += gemm_contribution(b, v, h);  // v2 pre-activation
+    if (s.gaussian_visible) {
+      k += loop_contribution(b * v, 1.0, 1.0, 1.0);  // add_row_broadcast_vec
+      if (s.sample_visible) k += loop_contribution(b * v, 15.0, 1.0, 1.0);
+    } else {
+      if (fused) {
+        k += loop_contribution(b * v, 9.0, 1.0, 1.0);
+      } else {
+        k += naive_loop_contribution(b * v, 1.0, 1, 1);
+        k += naive_loop_contribution(b * v, 400.0, 1, 1);
+      }
+      if (s.sample_visible) k += naive_loop_contribution(b * v, 100.0, 1, 1);
+    }
+
+    k += gemm_contribution(b, h, v);  // h2 pre-activation
+    if (step + 1 < s.cd_k) {
+      if (fused) {
+        k += loop_contribution(b * h, 20.0, 1.0, 2.0);
+      } else {
+        k += naive_loop_contribution(b * h, 1.0, 1, 1);
+        k += naive_loop_contribution(b * h, 400.0, 1, 1);
+        k += naive_loop_contribution(b * h, 100.0, 1, 1);
+      }
+    } else {
+      if (fused) {
+        k += loop_contribution(b * h, 9.0, 1.0, 1.0);
+      } else {
+        k += naive_loop_contribution(b * h, 1.0, 1, 1);
+        k += naive_loop_contribution(b * h, 400.0, 1, 1);
+      }
+    }
+  }
+  // statistics
+  k += gemm_contribution(h, v, b);  // positive
+  k += gemm_contribution(h, v, b);  // negative
+  k += loop_contribution(b * v, 1.0, 1.0, 0.0);  // col_sum(v1)
+  k += loop_contribution(b * v, 1.0, 1.0, 0.0);  // col_sum(v2)
+  k += loop_contribution(v, 2.0, 2.0, 1.0);      // axpy
+  k += loop_contribution(v, 1.0, 1.0, 1.0);      // scal
+  k += loop_contribution(b * h, 1.0, 1.0, 0.0);  // col_sum(h1)
+  k += loop_contribution(b * h, 1.0, 1.0, 0.0);  // col_sum(h2)
+  k += loop_contribution(h, 2.0, 2.0, 1.0);
+  k += loop_contribution(h, 1.0, 1.0, 1.0);
+  k += loop_contribution(b * v, 3.0, 2.0, 0.0);  // recon error
+  return k;
+}
+
+// --- RBM, Fig. 6 task graph (mirrors RbmTaskGraphStep) ---
+KernelStats rbm_taskgraph_gradient(const RbmShape& s) {
+  const la::Index b = s.batch, v = s.visible, h = s.hidden;
+  KernelStats k;
+  k += loop_contribution(b * v, 1.0, 1.0, 0.0);   // gb_pos
+  k += gemm_contribution(b, h, v);                // h1 gemm
+  k += loop_contribution(b * h, 20.0, 1.0, 2.0);  // h1 bias_sigmoid_sample
+  k += gemm_contribution(h, v, b);                // gw_pos
+  k += loop_contribution(b * h, 1.0, 1.0, 0.0);   // gc_pos
+  k += gemm_contribution(b, v, h);                // v2 gemm
+  k += loop_contribution(b * v, 9.0, 1.0, 1.0);   // v2 bias_sigmoid
+  k += loop_contribution(b * v, 1.0, 1.0, 0.0);   // gb_neg
+  k += loop_contribution(b * v, 3.0, 2.0, 0.0);   // recon
+  k += gemm_contribution(b, h, v);                // h2 gemm
+  k += loop_contribution(b * h, 9.0, 1.0, 1.0);   // h2 bias_sigmoid
+  k += gemm_contribution(h, v, b);                // gw_neg
+  k += loop_contribution(b * h, 1.0, 1.0, 0.0);   // gc_neg
+  // combine: axpy+scal per parameter
+  k += loop_contribution(h * v, 2.0, 2.0, 1.0);
+  k += loop_contribution(h * v, 1.0, 1.0, 1.0);
+  k += loop_contribution(v, 2.0, 2.0, 1.0);
+  k += loop_contribution(v, 1.0, 1.0, 1.0);
+  k += loop_contribution(h, 2.0, 2.0, 1.0);
+  k += loop_contribution(h, 1.0, 1.0, 1.0);
+  return k;
+}
+
+// --- RBM, loop form (mirrors rbm_gradient_loops) ---
+KernelStats rbm_loop_gradient(const RbmShape& s) {
+  const la::Index b = s.batch, v = s.visible, h = s.hidden;
+  KernelStats k;
+  k += naive_gemm_contribution(b, h, v);
+  k += naive_loop_contribution(b * h, 1.0, 1, 1);
+  k += naive_loop_contribution(b * h, 400.0, 1, 1);
+  k += naive_loop_contribution(b * h, 100.0, 1, 1);  // sample
+  for (int step = 0; step < s.cd_k; ++step) {
+    k += naive_gemm_contribution(b, v, h);
+    k += naive_loop_contribution(b * v, 1.0, 1, 1);
+    k += naive_loop_contribution(b * v, 400.0, 1, 1);
+    if (s.sample_visible) k += naive_loop_contribution(b * v, 100.0, 1, 1);
+    k += naive_gemm_contribution(b, h, v);
+    k += naive_loop_contribution(b * h, 1.0, 1, 1);
+    k += naive_loop_contribution(b * h, 400.0, 1, 1);
+    if (step + 1 < s.cd_k) k += naive_loop_contribution(b * h, 100.0, 1, 1);
+  }
+  k += naive_gemm_contribution(h, v, b);  // matmul_tn_acc (pos)
+  k += naive_gemm_contribution(h, v, b);  // matmul_tn_acc (neg)
+  k += naive_loop_contribution(b * v, 1.0, 1, 0);
+  k += naive_loop_contribution(b * v, 1.0, 1, 0);
+  k += naive_loop_contribution(v, 2.0, 2, 1);  // diff_scale
+  k += naive_loop_contribution(b * h, 1.0, 1, 0);
+  k += naive_loop_contribution(b * h, 1.0, 1, 0);
+  k += naive_loop_contribution(h, 2.0, 2, 1);
+  k += naive_loop_contribution(b * v, 3.0, 2, 0);  // recon
+  return k;
+}
+
+KernelStats rbm_loop_update(const RbmShape& s) {
+  KernelStats k;
+  k += naive_loop_contribution(s.hidden * s.visible, 2.0, 2, 1);
+  k += naive_loop_contribution(s.visible, 2.0, 2, 1);
+  k += naive_loop_contribution(s.hidden, 2.0, 2, 1);
+  return k;
+}
+
+template <typename PerBatch>
+KernelStats train_stats_impl(const TrainShape& run, PerBatch&& per_batch) {
+  DEEPPHI_CHECK_MSG(run.examples >= 1 && run.batch >= 1 && run.chunk >= run.batch,
+                    "bad TrainShape");
+  KernelStats k;
+  for (int epoch = 0; epoch < run.epochs; ++epoch) {
+    for (la::Index begin = 0; begin < run.examples; begin += run.chunk) {
+      const la::Index chunk_rows = std::min(run.chunk, run.examples - begin);
+      k += phi::h2d_contribution(4.0 * static_cast<double>(chunk_rows) *
+                                 1.0);  // dim factored in by caller
+      for (la::Index b0 = 0; b0 < chunk_rows; b0 += run.batch) {
+        const la::Index rows = std::min(run.batch, chunk_rows - b0);
+        k += per_batch(rows);
+      }
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+phi::KernelStats sae_batch_stats(const SaeShape& shape, OptLevel level,
+                                 OptimizerKind opt) {
+  const la::Index v = shape.visible, h = shape.hidden;
+  DEEPPHI_CHECK_MSG(!shape.tied_weights || is_matrix_form(level),
+                    "tied weights are matrix-form only");
+  if (is_matrix_form(level)) {
+    KernelStats k = sae_matrix_gradient(shape, is_fused(level));
+    k += optimizer_update(h * v, opt);
+    k += optimizer_update(h, opt);
+    k += optimizer_update(v * h, opt);
+    k += optimizer_update(v, opt);
+    return k;
+  }
+  return sae_loop_gradient(shape) + sae_loop_update(shape);
+}
+
+phi::KernelStats rbm_batch_stats(const RbmShape& shape, OptLevel level,
+                                 OptimizerKind opt, bool taskgraph) {
+  const la::Index v = shape.visible, h = shape.hidden;
+  DEEPPHI_CHECK_MSG(!shape.gaussian_visible || is_matrix_form(level),
+                    "Gaussian visibles are matrix-form only");
+  DEEPPHI_CHECK_MSG(!shape.gaussian_visible || !taskgraph,
+                    "the Fig. 6 graph models the binary RBM");
+  if (is_matrix_form(level)) {
+    KernelStats k = taskgraph ? rbm_taskgraph_gradient(shape)
+                              : rbm_matrix_gradient(shape, is_fused(level));
+    k += optimizer_update(h * v, opt);
+    k += optimizer_update(v, opt);
+    k += optimizer_update(h, opt);
+    return k;
+  }
+  DEEPPHI_CHECK_MSG(!taskgraph, "task graph requires a matrix-form level");
+  return rbm_loop_gradient(shape) + rbm_loop_update(shape);
+}
+
+std::int64_t train_batches(const TrainShape& run) {
+  std::int64_t batches = 0;
+  for (int epoch = 0; epoch < run.epochs; ++epoch)
+    for (la::Index begin = 0; begin < run.examples; begin += run.chunk) {
+      const la::Index chunk_rows = std::min(run.chunk, run.examples - begin);
+      batches += (chunk_rows + run.batch - 1) / run.batch;
+    }
+  return batches;
+}
+
+std::int64_t train_chunks(const TrainShape& run) {
+  const std::int64_t per_epoch = (run.examples + run.chunk - 1) / run.chunk;
+  return per_epoch * run.epochs;
+}
+
+phi::KernelStats sae_train_stats(const TrainShape& run, const SaeShape& shape,
+                                 OptLevel level, OptimizerKind opt) {
+  KernelStats k = train_stats_impl(run, [&](la::Index rows) {
+    SaeShape s = shape;
+    s.batch = rows;
+    return sae_batch_stats(s, level, opt);
+  });
+  // train_stats_impl charges 4 B per example; scale transfers by the example
+  // dimensionality.
+  k.h2d_bytes *= static_cast<double>(shape.visible);
+  return k;
+}
+
+phi::KernelStats rbm_train_stats(const TrainShape& run, const RbmShape& shape,
+                                 OptLevel level, OptimizerKind opt,
+                                 bool taskgraph) {
+  KernelStats k = train_stats_impl(run, [&](la::Index rows) {
+    RbmShape s = shape;
+    s.batch = rows;
+    return rbm_batch_stats(s, level, opt, taskgraph);
+  });
+  k.h2d_bytes *= static_cast<double>(shape.visible);
+  return k;
+}
+
+}  // namespace deepphi::core

@@ -1,0 +1,72 @@
+// Analytic ("model mode") work accounting: produces the KernelStats a
+// training run WOULD record, without executing it. This is what lets the
+// benches evaluate paper-scale configurations (e.g. a 4096×16384 autoencoder
+// over 10⁶ examples) that would take hours to execute functionally on the
+// build machine.
+//
+// Every function here replays, contribution by contribution, the exact
+// kernel sequence of the corresponding real code path (sparse_autoencoder /
+// autoencoder_loops / rbm / rbm_loops / rbm_taskgraph / trainer). The
+// model==measure property tests pin this equality at small sizes; if you
+// change a kernel sequence, change its replay here and the tests will tell
+// you whether you got it right.
+#pragma once
+
+#include "core/levels.hpp"
+#include "core/optimizer.hpp"
+#include "la/matrix.hpp"
+#include "phi/kernel_stats.hpp"
+
+namespace deepphi::core {
+
+struct SaeShape {
+  la::Index batch = 0;
+  la::Index visible = 0;
+  la::Index hidden = 0;
+  bool tied_weights = false;  // matrix-form only
+};
+
+struct RbmShape {
+  la::Index batch = 0;
+  la::Index visible = 0;
+  la::Index hidden = 0;
+  int cd_k = 1;
+  bool sample_visible = false;
+  bool gaussian_visible = false;  // VisibleType::kGaussian
+};
+
+/// Work of one SAE gradient + parameter update at the given ladder level.
+phi::KernelStats sae_batch_stats(const SaeShape& shape, OptLevel level,
+                                 OptimizerKind opt = OptimizerKind::kSgd);
+
+/// Work of one RBM CD-k gradient + update. `taskgraph` selects the Fig. 6
+/// step (matrix-form, cd_k == 1 only).
+phi::KernelStats rbm_batch_stats(const RbmShape& shape, OptLevel level,
+                                 OptimizerKind opt = OptimizerKind::kSgd,
+                                 bool taskgraph = false);
+
+/// How a training run is shaped: dataset size, batch, chunking, passes.
+struct TrainShape {
+  la::Index examples = 0;
+  la::Index batch = 1000;
+  la::Index chunk = 10000;
+  int epochs = 1;
+};
+
+/// Full-run stats (chunk h2d transfers + every batch step), replicating
+/// Trainer::run_loop's chunk/batch structure including short tails.
+phi::KernelStats sae_train_stats(const TrainShape& run, const SaeShape& shape,
+                                 OptLevel level,
+                                 OptimizerKind opt = OptimizerKind::kSgd);
+
+phi::KernelStats rbm_train_stats(const TrainShape& run, const RbmShape& shape,
+                                 OptLevel level,
+                                 OptimizerKind opt = OptimizerKind::kSgd,
+                                 bool taskgraph = false);
+
+/// Number of gradient steps the run performs (for reporting).
+std::int64_t train_batches(const TrainShape& run);
+/// Number of chunks the run transfers.
+std::int64_t train_chunks(const TrainShape& run);
+
+}  // namespace deepphi::core

@@ -1,0 +1,42 @@
+// Deep Belief Network: a stack of RBMs pre-trained greedily (Hinton &
+// Salakhutdinov 2006, the paper's reference [1]). Layer k's training data is
+// the hidden mean activity of layer k−1 on its own training data (the
+// standard mean-field up-pass).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rbm.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+
+namespace deepphi::core {
+
+class Dbn {
+ public:
+  /// `layer_sizes` = {visible, h1, h2, ...}; proto carries cd_k /
+  /// sample_visible / init_sigma for every layer. A Gaussian visible_type in
+  /// `proto` applies to the BOTTOM layer only (upper layers see hidden
+  /// probabilities in (0,1) and stay Bernoulli — the standard construction).
+  Dbn(std::vector<la::Index> layer_sizes, const RbmConfig& proto,
+      std::uint64_t seed);
+
+  std::size_t layers() const { return layers_.size(); }
+  Rbm& layer(std::size_t k) { return layers_[k]; }
+  const Rbm& layer(std::size_t k) const { return layers_[k]; }
+  const std::vector<la::Index>& layer_sizes() const { return sizes_; }
+
+  /// Greedy layer-wise pre-training; one TrainReport per RBM.
+  std::vector<TrainReport> pretrain(const data::Dataset& dataset,
+                                    const TrainerConfig& config);
+
+  /// Mean-field up-pass through every layer.
+  void up_pass(const la::Matrix& x, la::Matrix& out) const;
+
+ private:
+  std::vector<la::Index> sizes_;
+  std::vector<Rbm> layers_;
+};
+
+}  // namespace deepphi::core

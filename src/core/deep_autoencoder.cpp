@@ -1,0 +1,163 @@
+#include "core/deep_autoencoder.hpp"
+
+#include "data/batch_iterator.hpp"
+#include "la/blas1.hpp"
+#include "la/elementwise.hpp"
+#include "la/gemm.hpp"
+#include "la/transpose.hpp"
+#include "la/reduce.hpp"
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+DeepAutoencoder::DeepAutoencoder(const StackedAutoencoder& pretrained) {
+  // Encoder halves, shallow to deep.
+  for (std::size_t k = 0; k < pretrained.layers(); ++k) {
+    const SparseAutoencoder& sae = pretrained.layer(k);
+    layers_.push_back(Layer{sae.w1(), sae.b1()});
+  }
+  // Decoder halves, deep to shallow.
+  for (std::size_t k = pretrained.layers(); k-- > 0;) {
+    const SparseAutoencoder& sae = pretrained.layer(k);
+    layers_.push_back(Layer{sae.w2(), sae.b2()});
+  }
+}
+
+DeepAutoencoder::DeepAutoencoder(const Dbn& pretrained) {
+  for (std::size_t k = 0; k < pretrained.layers(); ++k) {
+    const Rbm& rbm = pretrained.layer(k);
+    layers_.push_back(Layer{rbm.w(), rbm.c()});
+  }
+  for (std::size_t k = pretrained.layers(); k-- > 0;) {
+    const Rbm& rbm = pretrained.layer(k);
+    layers_.push_back(Layer{la::transposed(rbm.w()), rbm.b()});
+  }
+}
+
+void DeepAutoencoder::forward(const la::Matrix& x, Workspace& ws) const {
+  DEEPPHI_CHECK_MSG(x.cols() == input_dim(),
+                    "input dim " << x.cols() << " != " << input_dim());
+  ws.acts.resize(layers_.size());
+  const la::Matrix* prev = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    la::Matrix& act = ws.acts[l];
+    if (act.rows() != x.rows() || act.cols() != layers_[l].w.rows())
+      act = la::Matrix::uninitialized(x.rows(), layers_[l].w.rows());
+    la::gemm_nt(1.0f, *prev, layers_[l].w, 0.0f, act);
+    la::bias_sigmoid(act, layers_[l].b);
+    prev = &act;
+  }
+}
+
+void DeepAutoencoder::reconstruct(const la::Matrix& x, la::Matrix& out) const {
+  Workspace ws;
+  forward(x, ws);
+  out = ws.acts.back();
+}
+
+void DeepAutoencoder::encode(const la::Matrix& x, la::Matrix& out) const {
+  DEEPPHI_CHECK_MSG(x.cols() == input_dim(),
+                    "input dim " << x.cols() << " != " << input_dim());
+  const std::size_t encoder_layers = layers_.size() / 2;
+  la::Matrix current = x;
+  la::Matrix next;
+  for (std::size_t l = 0; l < encoder_layers; ++l) {
+    next = la::Matrix::uninitialized(x.rows(), layers_[l].w.rows());
+    la::gemm_nt(1.0f, current, layers_[l].w, 0.0f, next);
+    la::bias_sigmoid(next, layers_[l].b);
+    current = std::move(next);
+  }
+  out = std::move(current);
+}
+
+double DeepAutoencoder::gradient(const la::Matrix& x, Workspace& ws,
+                                 Gradients& grads, float lambda) const {
+  forward(x, ws);
+  const std::size_t n_layers = layers_.size();
+  const la::Index m = x.rows();
+  const float inv_m = 1.0f / static_cast<float>(m);
+
+  ws.deltas.resize(n_layers);
+  grads.g_w.resize(n_layers);
+  grads.g_b.resize(n_layers);
+
+  double cost = la::sum_sq_diff(ws.acts.back(), x) / (2.0 * m);
+
+  // Output delta: (x̂ − x) ⊙ σ'.
+  la::Matrix& out_delta = ws.deltas[n_layers - 1];
+  if (out_delta.rows() != m || out_delta.cols() != x.cols())
+    out_delta = la::Matrix::uninitialized(m, x.cols());
+  la::output_delta(ws.acts.back(), x, out_delta);
+
+  // Backward through the stack.
+  for (std::size_t l = n_layers; l-- > 0;) {
+    const la::Matrix& input = l == 0 ? x : ws.acts[l - 1];
+    la::Matrix& delta = ws.deltas[l];
+
+    // Parameter gradients for layer l.
+    la::Matrix& gw = grads.g_w[l];
+    la::Vector& gb = grads.g_b[l];
+    if (gw.rows() != layers_[l].w.rows() || gw.cols() != layers_[l].w.cols())
+      gw = la::Matrix(layers_[l].w.rows(), layers_[l].w.cols());
+    if (gb.size() != layers_[l].b.size()) gb = la::Vector(layers_[l].b.size());
+    la::gemm_tn(inv_m, delta, input, 0.0f, gw);
+    if (lambda > 0.0f) {
+      cost += 0.5 * lambda * la::nrm2sq(layers_[l].w);
+      la::axpy(lambda, layers_[l].w, gw);
+    }
+    la::col_sum(delta, gb);
+    la::scal(inv_m, gb);
+
+    // Propagate to the previous layer.
+    if (l > 0) {
+      la::Matrix& prev_delta = ws.deltas[l - 1];
+      if (prev_delta.rows() != m || prev_delta.cols() != layers_[l].w.cols())
+        prev_delta = la::Matrix::uninitialized(m, layers_[l].w.cols());
+      la::gemm_nn(1.0f, delta, layers_[l].w, 0.0f, prev_delta);
+      la::dsigmoid_mul_inplace(prev_delta, ws.acts[l - 1]);
+    }
+  }
+  return cost;
+}
+
+void DeepAutoencoder::apply_update(const Gradients& grads, float lr) {
+  DEEPPHI_CHECK_MSG(grads.g_w.size() == layers_.size(), "gradient layer count");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    la::axpy(-lr, grads.g_w[l], layers_[l].w);
+    la::axpy(-lr, grads.g_b[l], layers_[l].b);
+  }
+}
+
+DeepAutoencoder::FinetuneReport DeepAutoencoder::finetune(
+    const data::Dataset& dataset, const FinetuneConfig& config) {
+  DEEPPHI_CHECK_MSG(dataset.dim() == input_dim(),
+                    "dataset dim " << dataset.dim() << " != " << input_dim());
+  DEEPPHI_CHECK_MSG(!dataset.empty(), "empty dataset");
+  FinetuneReport report;
+  Workspace ws;
+  Gradients grads;
+  Optimizer optimizer(config.optimizer);
+  data::BatchIterator batches(dataset, config.batch_size, /*shuffle=*/true,
+                              config.seed);
+  la::Matrix batch;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_cost = 0;
+    std::int64_t epoch_batches = 0;
+    while (la::Index n = batches.next(batch)) {
+      (void)n;
+      epoch_cost += gradient(batch, ws, grads, config.lambda);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        optimizer.update(layers_[l].w, grads.g_w[l]);
+        optimizer.update(layers_[l].b, grads.g_b[l]);
+      }
+      optimizer.end_step();
+      ++epoch_batches;
+    }
+    report.batches += epoch_batches;
+    report.epoch_costs.push_back(epoch_cost /
+                                 static_cast<double>(epoch_batches));
+  }
+  return report;
+}
+
+}  // namespace deepphi::core

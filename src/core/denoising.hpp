@@ -1,0 +1,30 @@
+// Denoising autoencoder training (Vincent et al.'s variant — the paper's
+// §I lists "many variations" of the autoencoder family as unsupervised
+// building blocks): corrupt each input with masking noise, train to
+// reconstruct the CLEAN input. Corruption is deterministic given the rng
+// (per-row substreams, like every sampling kernel in the repo).
+#pragma once
+
+#include "core/gradient_buffers.hpp"
+#include "core/sparse_autoencoder.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi::core {
+
+/// corrupted(r,c) = 0 with probability mask_prob, else clean(r,c). Row r
+/// draws from base.split(r).
+void mask_corrupt(const la::Matrix& clean, la::Matrix& corrupted,
+                  float mask_prob, const util::Rng& base);
+
+/// One denoising gradient step: corrupts `clean` into `corrupted_buf`
+/// (resized as needed), runs forward on the corrupted batch, and
+/// back-propagates the reconstruction error against the clean batch.
+/// Returns the batch cost.
+double sae_denoising_gradient(const SparseAutoencoder& model,
+                              const la::Matrix& clean,
+                              la::Matrix& corrupted_buf,
+                              SparseAutoencoder::Workspace& ws,
+                              AeGradients& grads, float mask_prob,
+                              const util::Rng& rng, bool fused = true);
+
+}  // namespace deepphi::core

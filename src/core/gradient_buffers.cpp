@@ -1,0 +1,34 @@
+#include "core/gradient_buffers.hpp"
+
+namespace deepphi::core {
+
+void AeGradients::ensure(la::Index visible, la::Index hidden) {
+  if (g_w1.rows() != hidden || g_w1.cols() != visible)
+    g_w1 = la::Matrix(hidden, visible);
+  if (g_b1.size() != hidden) g_b1 = la::Vector(hidden);
+  if (g_w2.rows() != visible || g_w2.cols() != hidden)
+    g_w2 = la::Matrix(visible, hidden);
+  if (g_b2.size() != visible) g_b2 = la::Vector(visible);
+}
+
+void AeGradients::zero() {
+  g_w1.zero();
+  g_b1.zero();
+  g_w2.zero();
+  g_b2.zero();
+}
+
+void RbmGradients::ensure(la::Index visible, la::Index hidden) {
+  if (g_w.rows() != hidden || g_w.cols() != visible)
+    g_w = la::Matrix(hidden, visible);
+  if (g_b.size() != visible) g_b = la::Vector(visible);
+  if (g_c.size() != hidden) g_c = la::Vector(hidden);
+}
+
+void RbmGradients::zero() {
+  g_w.zero();
+  g_b.zero();
+  g_c.zero();
+}
+
+}  // namespace deepphi::core

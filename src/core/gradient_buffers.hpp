@@ -1,0 +1,31 @@
+// Gradient buffers for the two building blocks. Kept outside the models so a
+// trainer can reuse one allocation across steps (the paper keeps all
+// temporaries resident in device global memory "to avoid unnecessary
+// reallocation and release").
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace deepphi::core {
+
+struct AeGradients {
+  la::Matrix g_w1;  // hidden×visible
+  la::Vector g_b1;  // hidden
+  la::Matrix g_w2;  // visible×hidden
+  la::Vector g_b2;  // visible
+
+  /// (Re)shapes for the given layer sizes; reallocates only on change.
+  void ensure(la::Index visible, la::Index hidden);
+  void zero();
+};
+
+struct RbmGradients {
+  la::Matrix g_w;  // hidden×visible
+  la::Vector g_b;  // visible bias
+  la::Vector g_c;  // hidden bias
+
+  void ensure(la::Index visible, la::Index hidden);
+  void zero();
+};
+
+}  // namespace deepphi::core

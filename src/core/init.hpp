@@ -1,0 +1,18 @@
+// Parameter initialization for the unsupervised building blocks.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi::core {
+
+/// Uniform(-r, r) with r = sqrt(6 / (fan_in + fan_out + 1)) — the standard
+/// sparse-autoencoder recipe for sigmoid units.
+void init_weights_uniform(la::Matrix& w, la::Index fan_in, la::Index fan_out,
+                          util::Rng& rng);
+
+/// N(0, sigma) initialization — Hinton's practical-guide default for RBMs
+/// (sigma = 0.01).
+void init_weights_gaussian(la::Matrix& w, float sigma, util::Rng& rng);
+
+}  // namespace deepphi::core

@@ -1,0 +1,102 @@
+#include "core/lbfgs.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+BatchOptReport lbfgs_minimize(const Objective& objective,
+                              std::vector<float>& params,
+                              const LbfgsConfig& config) {
+  DEEPPHI_CHECK_MSG(config.history >= 1, "history must be >= 1");
+  DEEPPHI_CHECK(objective != nullptr);
+  const std::size_t n = params.size();
+
+  BatchOptReport report;
+  std::vector<float> grad(n), new_x, new_grad, direction(n);
+  double cost = objective(params.data(), grad.data());
+  ++report.objective_evals;
+  report.initial_cost = cost;
+  report.cost_history.push_back(cost);
+
+  struct Pair {
+    std::vector<float> s, y;
+    double rho;
+  };
+  std::deque<Pair> history;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    if (l2_norm(grad) <= config.grad_tolerance) {
+      report.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = −H·grad.
+    std::vector<float> q(grad);
+    std::vector<double> alpha(history.size());
+    for (std::size_t i = history.size(); i-- > 0;) {
+      const Pair& h = history[i];
+      alpha[i] = h.rho * dot(h.s, q);
+      for (std::size_t j = 0; j < n; ++j)
+        q[j] -= static_cast<float>(alpha[i]) * h.y[j];
+    }
+    // Initial Hessian scaling γ = sᵀy / yᵀy from the newest pair.
+    double gamma = 1.0;
+    if (!history.empty()) {
+      const Pair& h = history.back();
+      const double yy = dot(h.y, h.y);
+      if (yy > 0) gamma = 1.0 / (h.rho * yy);
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      q[j] = static_cast<float>(gamma * q[j]);
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      const Pair& h = history[i];
+      const double beta = h.rho * dot(h.y, q);
+      for (std::size_t j = 0; j < n; ++j)
+        q[j] += static_cast<float>(alpha[i] - beta) * h.s[j];
+    }
+    for (std::size_t j = 0; j < n; ++j) direction[j] = -q[j];
+
+    LineSearchResult ls = line_search(objective, params, cost, grad, direction,
+                                      config.line_search, new_x, new_grad);
+    report.objective_evals += ls.evals;
+    if (!ls.success) {
+      // Fall back to steepest descent once; if that fails too, stop.
+      for (std::size_t j = 0; j < n; ++j) direction[j] = -grad[j];
+      ls = line_search(objective, params, cost, grad, direction,
+                       config.line_search, new_x, new_grad);
+      report.objective_evals += ls.evals;
+      if (!ls.success) break;
+      history.clear();
+    }
+
+    // Curvature pair from the accepted step.
+    Pair pair;
+    pair.s.resize(n);
+    pair.y.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      pair.s[j] = new_x[j] - params[j];
+      pair.y[j] = new_grad[j] - grad[j];
+    }
+    const double sy = dot(pair.s, pair.y);
+    if (sy > 1e-10) {
+      pair.rho = 1.0 / sy;
+      history.push_back(std::move(pair));
+      if (static_cast<int>(history.size()) > config.history)
+        history.pop_front();
+    }
+
+    params = new_x;
+    grad = new_grad;
+    cost = ls.cost;
+    ++report.iterations;
+    report.cost_history.push_back(cost);
+  }
+
+  report.final_cost = cost;
+  return report;
+}
+
+}  // namespace deepphi::core

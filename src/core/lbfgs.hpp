@@ -1,0 +1,25 @@
+// Limited-memory BFGS with the standard two-loop recursion (Liu & Nocedal),
+// one of the two batch methods the paper's related work proposes for
+// parallel-friendly deep network training.
+#pragma once
+
+#include "core/batch_opt.hpp"
+
+namespace deepphi::core {
+
+struct LbfgsConfig {
+  int max_iterations = 100;
+  int history = 8;           // stored (s, y) pairs
+  double grad_tolerance = 1e-5;
+  /// Strong-Wolfe by default: the curvature condition keeps the (s, y)
+  /// pairs well-scaled (plain Armijo roughly 10x-es the Rosenbrock
+  /// iteration count).
+  LineSearchConfig line_search{1.0, 0.5, 1e-4, 0.9, true, 25};
+};
+
+/// Minimizes `objective` starting from `params` (updated in place).
+BatchOptReport lbfgs_minimize(const Objective& objective,
+                              std::vector<float>& params,
+                              const LbfgsConfig& config);
+
+}  // namespace deepphi::core

@@ -1,0 +1,52 @@
+// The optimization ladder of the paper's Table I, as real code paths (not
+// model constants):
+//
+//   kBaseline   — loop-form training step, single thread, no SIMD hints, no
+//                 optimized GEMM ("The baseline code did not use Intel MKL
+//                 packages or any other speedup methods").
+//   kOpenMp     — the same loop-form step with every loop wrapped in its own
+//                 OpenMP parallel region ("We then used OpenMP to parallelize
+//                 all the loops").
+//   kOpenMpMkl  — matrix-form step: optimized blocked GEMM for the products,
+//                 separate parallel elementwise kernels for the rest.
+//   kImproved   — matrix-form with fused elementwise kernels ("we combined
+//                 some loops to reduce synchronization cost").
+#pragma once
+
+#include <string>
+
+namespace deepphi::core {
+
+enum class OptLevel { kBaseline, kOpenMp, kOpenMpMkl, kImproved };
+
+inline const char* to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::kBaseline: return "baseline";
+    case OptLevel::kOpenMp: return "openmp";
+    case OptLevel::kOpenMpMkl: return "openmp+mkl";
+    case OptLevel::kImproved: return "improved";
+  }
+  return "?";
+}
+
+/// True for the matrix-form (GEMM-based) levels.
+inline bool is_matrix_form(OptLevel level) {
+  return level == OptLevel::kOpenMpMkl || level == OptLevel::kImproved;
+}
+
+/// True when elementwise kernels are fused.
+inline bool is_fused(OptLevel level) { return level == OptLevel::kImproved; }
+
+/// Threads the level is meant to run with on a machine exposing
+/// `machine_threads` (Baseline is sequential by definition).
+inline int level_threads(OptLevel level, int machine_threads) {
+  return level == OptLevel::kBaseline ? 1 : machine_threads;
+}
+
+/// How the training loop feeds data (paper Fig. 5).
+enum class ExecPolicy {
+  kHost,        // train in-process, foreground chunk loading
+  kPhiOffload,  // background loading thread + device-side chunk ring
+};
+
+}  // namespace deepphi::core

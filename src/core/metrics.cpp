@@ -1,0 +1,98 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "la/reduce.hpp"
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+namespace {
+la::Matrix sample_matrix(const data::Dataset& dataset, la::Index max_examples) {
+  const la::Index n = std::min(max_examples, dataset.size());
+  DEEPPHI_CHECK_MSG(n > 0, "empty dataset");
+  la::Matrix x = la::Matrix::uninitialized(n, dataset.dim());
+  dataset.copy_batch(0, n, x);
+  return x;
+}
+}  // namespace
+
+double reconstruction_error(const SparseAutoencoder& model,
+                            const data::Dataset& dataset,
+                            la::Index max_examples) {
+  la::Matrix x = sample_matrix(dataset, max_examples);
+  SparseAutoencoder::Workspace ws;
+  model.forward(x, ws, /*fused=*/true);
+  return la::sum_sq_diff(ws.z, x) / static_cast<double>(x.rows());
+}
+
+double reconstruction_error(const Rbm& model, const data::Dataset& dataset,
+                            la::Index max_examples) {
+  la::Matrix x = sample_matrix(dataset, max_examples);
+  la::Matrix h, v;
+  model.hidden_mean(x, h);
+  model.visible_mean(h, v);
+  return la::sum_sq_diff(v, x) / static_cast<double>(x.rows());
+}
+
+double mean_hidden_activation(const SparseAutoencoder& model,
+                              const data::Dataset& dataset,
+                              la::Index max_examples) {
+  la::Matrix x = sample_matrix(dataset, max_examples);
+  SparseAutoencoder::Workspace ws;
+  model.forward(x, ws, /*fused=*/true);
+  return la::sum(ws.y) / static_cast<double>(ws.y.size());
+}
+
+std::string ascii_filter(const la::Matrix& w, la::Index unit, la::Index side) {
+  DEEPPHI_CHECK_MSG(unit >= 0 && unit < w.rows(), "unit " << unit << " out of "
+                                                          << w.rows());
+  DEEPPHI_CHECK_MSG(side * side == w.cols(),
+                    "side² (" << side * side << ") != visible (" << w.cols()
+                              << ")");
+  const float* row = w.row(unit);
+  float lo = row[0], hi = row[0];
+  for (la::Index i = 0; i < w.cols(); ++i) {
+    lo = std::min(lo, row[i]);
+    hi = std::max(hi, row[i]);
+  }
+  const float span = hi - lo > 1e-12f ? hi - lo : 1.0f;
+  static const char shades[] = " .:-=+*#%@";
+  std::ostringstream os;
+  for (la::Index r = 0; r < side; ++r) {
+    for (la::Index c = 0; c < side; ++c) {
+      const float t = (row[r * side + c] - lo) / span;
+      const int idx = std::clamp(static_cast<int>(t * 9.999f), 0, 9);
+      os << shades[idx];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double localized_filter_fraction(const la::Matrix& w, double mass_threshold) {
+  DEEPPHI_CHECK_MSG(w.rows() > 0 && w.cols() > 0, "empty weight matrix");
+  la::Index localized = 0;
+  std::vector<float> mags(static_cast<std::size_t>(w.cols()));
+  for (la::Index u = 0; u < w.rows(); ++u) {
+    const float* row = w.row(u);
+    double total = 0;
+    for (la::Index i = 0; i < w.cols(); ++i) {
+      mags[static_cast<std::size_t>(i)] = std::fabs(row[i]);
+      total += mags[static_cast<std::size_t>(i)];
+    }
+    if (total <= 0) continue;
+    const std::size_t top = std::max<std::size_t>(1, mags.size() / 4);
+    std::nth_element(mags.begin(), mags.begin() + top - 1, mags.end(),
+                     std::greater<float>());
+    double top_mass = 0;
+    for (std::size_t i = 0; i < top; ++i) top_mass += mags[i];
+    if (top_mass / total > mass_threshold) ++localized;
+  }
+  return static_cast<double>(localized) / static_cast<double>(w.rows());
+}
+
+}  // namespace deepphi::core

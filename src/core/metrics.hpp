@@ -1,0 +1,40 @@
+// Evaluation metrics and inspection helpers for trained models.
+#pragma once
+
+#include <string>
+
+#include "core/rbm.hpp"
+#include "core/sparse_autoencoder.hpp"
+#include "data/dataset.hpp"
+
+namespace deepphi::core {
+
+/// Mean per-example squared reconstruction error of the SAE over (a sample
+/// of) `dataset` (at most `max_examples` rows, front of the set).
+double reconstruction_error(const SparseAutoencoder& model,
+                            const data::Dataset& dataset,
+                            la::Index max_examples = 1000);
+
+/// Mean per-example squared reconstruction error of the RBM (one mean-field
+/// down-up pass).
+double reconstruction_error(const Rbm& model, const data::Dataset& dataset,
+                            la::Index max_examples = 1000);
+
+/// Mean hidden activation of the SAE over the sample — should approach the
+/// sparsity target ρ as training proceeds.
+double mean_hidden_activation(const SparseAutoencoder& model,
+                              const data::Dataset& dataset,
+                              la::Index max_examples = 1000);
+
+/// Renders hidden unit `unit`'s input weights as an ASCII heat map of the
+/// given image side (for patch models: side² == visible). Useful for eyeballing
+/// that features localize into edge/stroke detectors.
+std::string ascii_filter(const la::Matrix& w, la::Index unit, la::Index side);
+
+/// Fraction of hidden units whose weight vector is "localized": the top 25%
+/// of absolute weights carry more than `mass_threshold` of the total mass.
+/// A crude but monotone feature-quality signal used by examples/tests.
+double localized_filter_fraction(const la::Matrix& w,
+                                 double mass_threshold = 0.5);
+
+}  // namespace deepphi::core

@@ -1,0 +1,224 @@
+#include "core/model_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+namespace {
+
+constexpr std::uint32_t kVersion = 1;
+
+void write_magic(std::ofstream& out, const char magic[4]) {
+  out.write(magic, 4);
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+}
+
+void check_magic(std::ifstream& in, const char magic[4], const std::string& path) {
+  char got[4];
+  in.read(got, 4);
+  DEEPPHI_CHECK_MSG(in.good() && std::memcmp(got, magic, 4) == 0,
+                    "'" << path << "' is not a " << std::string(magic, 4)
+                        << " checkpoint");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  DEEPPHI_CHECK_MSG(in.good() && version == kVersion,
+                    "'" << path << "' has unsupported version " << version);
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in, const std::string& path) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' truncated");
+  return v;
+}
+
+void write_floats(std::ofstream& out, const float* p, la::Index n) {
+  out.write(reinterpret_cast<const char*>(p),
+            static_cast<std::streamsize>(sizeof(float) * n));
+}
+
+void read_floats(std::ifstream& in, float* p, la::Index n, const std::string& path) {
+  in.read(reinterpret_cast<char*>(p),
+          static_cast<std::streamsize>(sizeof(float) * n));
+  DEEPPHI_CHECK_MSG(in.good() || n == 0, "'" << path << "' truncated in payload");
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DEEPPHI_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return in;
+}
+
+void write_sae_body(std::ofstream& out, const SparseAutoencoder& model) {
+  const SaeConfig& cfg = model.config();
+  write_pod(out, static_cast<std::int64_t>(cfg.visible));
+  write_pod(out, static_cast<std::int64_t>(cfg.hidden));
+  write_pod(out, cfg.lambda);
+  write_pod(out, cfg.rho);
+  write_pod(out, cfg.beta);
+  write_pod(out, static_cast<std::int32_t>(cfg.tied_weights ? 1 : 0));
+  write_floats(out, model.w1().data(), model.w1().size());
+  write_floats(out, model.b1().data(), model.b1().size());
+  write_floats(out, model.w2().data(), model.w2().size());
+  write_floats(out, model.b2().data(), model.b2().size());
+}
+
+SparseAutoencoder read_sae_body(std::ifstream& in, const std::string& path) {
+  SaeConfig cfg;
+  cfg.visible = static_cast<la::Index>(read_pod<std::int64_t>(in, path));
+  cfg.hidden = static_cast<la::Index>(read_pod<std::int64_t>(in, path));
+  cfg.lambda = read_pod<float>(in, path);
+  cfg.rho = read_pod<float>(in, path);
+  cfg.beta = read_pod<float>(in, path);
+  cfg.tied_weights = read_pod<std::int32_t>(in, path) != 0;
+  SparseAutoencoder model(cfg, /*seed=*/0);
+  read_floats(in, model.w1().data(), model.w1().size(), path);
+  read_floats(in, model.b1().data(), model.b1().size(), path);
+  read_floats(in, model.w2().data(), model.w2().size(), path);
+  read_floats(in, model.b2().data(), model.b2().size(), path);
+  return model;
+}
+
+void write_rbm_body(std::ofstream& out, const Rbm& model) {
+  const RbmConfig& cfg = model.config();
+  write_pod(out, static_cast<std::int64_t>(cfg.visible));
+  write_pod(out, static_cast<std::int64_t>(cfg.hidden));
+  write_pod(out, static_cast<std::int32_t>(cfg.cd_k));
+  write_pod(out, static_cast<std::int32_t>(cfg.sample_visible ? 1 : 0));
+  write_pod(out, static_cast<std::int32_t>(cfg.visible_type));
+  write_pod(out, cfg.init_sigma);
+  write_floats(out, model.w().data(), model.w().size());
+  write_floats(out, model.b().data(), model.b().size());
+  write_floats(out, model.c().data(), model.c().size());
+}
+
+Rbm read_rbm_body(std::ifstream& in, const std::string& path) {
+  RbmConfig cfg;
+  cfg.visible = static_cast<la::Index>(read_pod<std::int64_t>(in, path));
+  cfg.hidden = static_cast<la::Index>(read_pod<std::int64_t>(in, path));
+  cfg.cd_k = static_cast<int>(read_pod<std::int32_t>(in, path));
+  cfg.sample_visible = read_pod<std::int32_t>(in, path) != 0;
+  cfg.visible_type = static_cast<VisibleType>(read_pod<std::int32_t>(in, path));
+  cfg.init_sigma = read_pod<float>(in, path);
+  Rbm model(cfg, /*seed=*/0);
+  read_floats(in, model.w().data(), model.w().size(), path);
+  read_floats(in, model.b().data(), model.b().size(), path);
+  read_floats(in, model.c().data(), model.c().size(), path);
+  return model;
+}
+
+}  // namespace
+
+void save_model(const SparseAutoencoder& model, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_magic(out, "DPAE");
+  write_sae_body(out, model);
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+SparseAutoencoder load_sae(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, "DPAE", path);
+  return read_sae_body(in, path);
+}
+
+void save_model(const Rbm& model, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_magic(out, "DPRB");
+  write_rbm_body(out, model);
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+Rbm load_rbm(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, "DPRB", path);
+  return read_rbm_body(in, path);
+}
+
+void save_model(const StackedAutoencoder& model, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_magic(out, "DPSA");
+  write_pod(out, static_cast<std::int64_t>(model.layers()));
+  for (std::size_t k = 0; k < model.layers(); ++k)
+    write_sae_body(out, model.layer(k));
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+StackedAutoencoder load_stacked_sae(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, "DPSA", path);
+  const auto layers = read_pod<std::int64_t>(in, path);
+  DEEPPHI_CHECK_MSG(layers >= 1 && layers < 1024,
+                    "'" << path << "' has implausible layer count " << layers);
+  std::vector<SparseAutoencoder> loaded;
+  loaded.reserve(static_cast<std::size_t>(layers));
+  std::vector<la::Index> sizes;
+  for (std::int64_t k = 0; k < layers; ++k) {
+    loaded.push_back(read_sae_body(in, path));
+    if (k == 0) sizes.push_back(loaded.back().visible());
+    DEEPPHI_CHECK_MSG(loaded.back().visible() == sizes.back(),
+                      "'" << path << "' layer " << k << " does not chain");
+    sizes.push_back(loaded.back().hidden());
+  }
+  StackedAutoencoder model(sizes, loaded.front().config(), /*seed=*/0);
+  for (std::size_t k = 0; k < model.layers(); ++k) {
+    model.layer(k).w1().copy_from(loaded[k].w1());
+    model.layer(k).b1().copy_from(loaded[k].b1());
+    model.layer(k).w2().copy_from(loaded[k].w2());
+    model.layer(k).b2().copy_from(loaded[k].b2());
+  }
+  return model;
+}
+
+void save_model(const Dbn& model, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_magic(out, "DPDB");
+  write_pod(out, static_cast<std::int64_t>(model.layers()));
+  for (std::size_t k = 0; k < model.layers(); ++k)
+    write_rbm_body(out, model.layer(k));
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+Dbn load_dbn(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, "DPDB", path);
+  const auto layers = read_pod<std::int64_t>(in, path);
+  DEEPPHI_CHECK_MSG(layers >= 1 && layers < 1024,
+                    "'" << path << "' has implausible layer count " << layers);
+  std::vector<Rbm> loaded;
+  loaded.reserve(static_cast<std::size_t>(layers));
+  std::vector<la::Index> sizes;
+  for (std::int64_t k = 0; k < layers; ++k) {
+    loaded.push_back(read_rbm_body(in, path));
+    if (k == 0) sizes.push_back(loaded.back().visible());
+    DEEPPHI_CHECK_MSG(loaded.back().visible() == sizes.back(),
+                      "'" << path << "' layer " << k << " does not chain");
+    sizes.push_back(loaded.back().hidden());
+  }
+  Dbn model(sizes, loaded.front().config(), /*seed=*/0);
+  for (std::size_t k = 0; k < model.layers(); ++k) {
+    model.layer(k).w().copy_from(loaded[k].w());
+    model.layer(k).b().copy_from(loaded[k].b());
+    model.layer(k).c().copy_from(loaded[k].c());
+  }
+  return model;
+}
+
+}  // namespace deepphi::core

@@ -1,0 +1,31 @@
+// Model checkpointing: binary serialization of the building blocks and the
+// stacked models. Format mirrors data/binary_io: a magic + version header,
+// the config, then raw parameter payloads — fully self-describing, so a
+// loaded model needs no side information.
+//
+//   "DPAE"/1 — SparseAutoencoder      "DPRB"/1 — Rbm
+//   "DPSA"/1 — StackedAutoencoder     "DPDB"/1 — Dbn
+#pragma once
+
+#include <string>
+
+#include "core/dbn.hpp"
+#include "core/rbm.hpp"
+#include "core/sparse_autoencoder.hpp"
+#include "core/stacked_autoencoder.hpp"
+
+namespace deepphi::core {
+
+void save_model(const SparseAutoencoder& model, const std::string& path);
+SparseAutoencoder load_sae(const std::string& path);
+
+void save_model(const Rbm& model, const std::string& path);
+Rbm load_rbm(const std::string& path);
+
+void save_model(const StackedAutoencoder& model, const std::string& path);
+StackedAutoencoder load_stacked_sae(const std::string& path);
+
+void save_model(const Dbn& model, const std::string& path);
+Dbn load_dbn(const std::string& path);
+
+}  // namespace deepphi::core

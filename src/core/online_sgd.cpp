@@ -1,0 +1,103 @@
+#include "core/online_sgd.hpp"
+
+#include <cmath>
+
+#include "la/blas2.hpp"
+#include "phi/kernel_stats.hpp"
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+OnlineSaeTrainer::OnlineSaeTrainer(SparseAutoencoder& model, Config config)
+    : model_(model),
+      config_(config),
+      y_(model.hidden()),
+      z_(model.visible()),
+      d2_(model.visible()),
+      d1_(model.hidden()),
+      rho_hat_(model.hidden()) {
+  DEEPPHI_CHECK_MSG(config.lr > 0, "learning rate must be positive");
+  DEEPPHI_CHECK_MSG(config.rho_decay >= 0 && config.rho_decay < 1,
+                    "rho_decay must be in [0, 1)");
+  // Start the running estimate at the sparsity target so early updates are
+  // not dominated by an uninformed penalty.
+  rho_hat_.fill(model.config().rho);
+}
+
+double OnlineSaeTrainer::step(const float* x) {
+  const SaeConfig& cfg = model_.config();
+  const la::Index v = cfg.visible;
+  const la::Index h = cfg.hidden;
+  const float lr = config_.lr;
+
+  // Wrap the raw example as a vector view-by-copy (BLAS-2 needs a Vector).
+  la::Vector xin = la::Vector::uninitialized(v);
+  for (la::Index j = 0; j < v; ++j) xin[j] = x[j];
+
+  // Forward: y = σ(W1·x + b1), z = σ(W2·y + b2).
+  y_.copy_from(model_.b1());
+  la::gemv(1.0f, model_.w1(), xin, 1.0f, y_);
+  phi::record(phi::loop_contribution(h, 8.0, 1.0, 1.0));
+  for (la::Index i = 0; i < h; ++i) y_[i] = 1.0f / (1.0f + std::exp(-y_[i]));
+
+  z_.copy_from(model_.b2());
+  la::gemv(1.0f, model_.w2(), y_, 1.0f, z_);
+  phi::record(phi::loop_contribution(v, 8.0, 1.0, 1.0));
+  for (la::Index j = 0; j < v; ++j) z_[j] = 1.0f / (1.0f + std::exp(-z_[j]));
+
+  // Running mean-activation estimate.
+  phi::record(phi::loop_contribution(h, 4.0, 2.0, 1.0));
+  const float decay = config_.rho_decay;
+  for (la::Index i = 0; i < h; ++i)
+    rho_hat_[i] = decay * rho_hat_[i] + (1.0f - decay) * y_[i];
+
+  // Output delta and reconstruction error.
+  phi::record(phi::loop_contribution(v, 5.0, 2.0, 1.0));
+  double recon = 0;
+  for (la::Index j = 0; j < v; ++j) {
+    const float diff = z_[j] - xin[j];
+    recon += static_cast<double>(diff) * diff;
+    d2_[j] = diff * z_[j] * (1.0f - z_[j]);
+  }
+
+  // Hidden delta with the online sparsity term.
+  la::gemv_t(1.0f, model_.w2(), d2_, 0.0f, d1_);
+  phi::record(phi::loop_contribution(h, 10.0, 2.0, 1.0));
+  for (la::Index i = 0; i < h; ++i) {
+    const float q = std::min(std::max(rho_hat_[i], 1e-6f), 1.0f - 1e-6f);
+    const float sparse =
+        cfg.beta * (-cfg.rho / q + (1.0f - cfg.rho) / (1.0f - q));
+    d1_[i] = (d1_[i] + sparse) * y_[i] * (1.0f - y_[i]);
+  }
+
+  // Updates: weight decay as a multiplicative shrink, then rank-1 updates.
+  const float shrink = 1.0f - lr * cfg.lambda;
+  phi::record(phi::loop_contribution(static_cast<la::Index>(2) * v * h, 1.0,
+                                     1.0, 1.0));
+  {
+    float* w = model_.w2().data();
+    for (la::Index i = 0; i < v * h; ++i) w[i] *= shrink;
+    w = model_.w1().data();
+    for (la::Index i = 0; i < h * v; ++i) w[i] *= shrink;
+  }
+  la::ger(-lr, d2_, y_, model_.w2());
+  la::ger(-lr, d1_, xin, model_.w1());
+  phi::record(phi::loop_contribution(v + h, 2.0, 2.0, 1.0));
+  for (la::Index j = 0; j < v; ++j) model_.b2()[j] -= lr * d2_[j];
+  for (la::Index i = 0; i < h; ++i) model_.b1()[i] -= lr * d1_[i];
+
+  return recon;
+}
+
+double OnlineSaeTrainer::train_epoch(const data::Dataset& dataset) {
+  DEEPPHI_CHECK_MSG(dataset.dim() == model_.visible(),
+                    "dataset dim " << dataset.dim() << " != visible "
+                                   << model_.visible());
+  DEEPPHI_CHECK_MSG(!dataset.empty(), "empty dataset");
+  double total = 0;
+  for (la::Index i = 0; i < dataset.size(); ++i)
+    total += step(dataset.example(i));
+  return total / static_cast<double>(dataset.size());
+}
+
+}  // namespace deepphi::core

@@ -1,0 +1,47 @@
+// Online (per-example) SGD for the Sparse Autoencoder — the paper's future
+// work #3: "we need to make our algorithm more efficient to deal with mini
+// batch because online SGD is more common in practical use".
+//
+// One example per update, all math in BLAS-2 (gemv/ger): no batching, no
+// GEMM. The KL sparsity term needs a batch statistic (ρ̂), so the online
+// form uses the standard exponentially-decayed running estimate
+//   ρ̂ ← decay·ρ̂ + (1−decay)·y.
+//
+// The flip side — and the reason the paper batches — is arithmetic
+// intensity: every update streams the full weight matrices four times for
+// O(v·h) flops, so the step is memory-bound; bench_online_sgd quantifies it.
+#pragma once
+
+#include "core/sparse_autoencoder.hpp"
+#include "data/dataset.hpp"
+
+namespace deepphi::core {
+
+class OnlineSaeTrainer {
+ public:
+  struct Config {
+    float lr = 0.1f;
+    float rho_decay = 0.99f;  // running ρ̂ decay
+  };
+
+  /// Binds to `model` (must outlive the trainer).
+  OnlineSaeTrainer(SparseAutoencoder& model, Config config);
+
+  /// One online update on a single example (length = model.visible()).
+  /// Returns the example's squared reconstruction error.
+  double step(const float* x);
+
+  /// One pass over `dataset` in order; returns the mean squared
+  /// reconstruction error over the epoch.
+  double train_epoch(const data::Dataset& dataset);
+
+  /// The running mean-activation estimate.
+  const la::Vector& rho_hat() const { return rho_hat_; }
+
+ private:
+  SparseAutoencoder& model_;
+  Config config_;
+  la::Vector y_, z_, d2_, d1_, rho_hat_;
+};
+
+}  // namespace deepphi::core

@@ -1,0 +1,70 @@
+// First-order update rules for mini-batch training. The paper's related-work
+// section singles out two acceleration families: adaptive learning-rate
+// schemes (category 1) and batch methods (L-BFGS/CG, in lbfgs.hpp/cg.hpp).
+// This header provides the per-step rules:
+//
+//   kSgd       — θ ← θ − lr_t · g, lr_t = lr / (1 + decay · t)
+//   kMomentum  — v ← μ·v − lr_t·g ; θ ← θ + v
+//   kAdagrad   — a ← a + g² ; θ ← θ − lr·g / (sqrt(a) + eps)
+//
+// State (velocity / accumulators) is keyed by parameter buffer address, so
+// one Optimizer instance serves a whole model as long as its parameter
+// storage is stable (it is: Matrix/Vector never reallocate in place).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace deepphi::core {
+
+enum class OptimizerKind { kSgd, kMomentum, kAdagrad };
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  float lr = 0.1f;
+  float momentum = 0.9f;    // kMomentum only
+  float lr_decay = 0.0f;    // 1/t decay factor (kSgd / kMomentum)
+  float adagrad_eps = 1e-6f;
+};
+
+inline const char* to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return "sgd";
+    case OptimizerKind::kMomentum: return "momentum";
+    case OptimizerKind::kAdagrad: return "adagrad";
+  }
+  return "?";
+}
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerConfig config);
+
+  const OptimizerConfig& config() const { return config_; }
+
+  /// Applies one update to `param` given its gradient (descent direction).
+  void update(la::Matrix& param, const la::Matrix& grad);
+  void update(la::Vector& param, const la::Vector& grad);
+
+  /// Advances the step counter (affects lr decay). Call once per
+  /// mini-batch after all parameter updates.
+  void end_step() { ++step_; }
+
+  std::uint64_t steps() const { return step_; }
+
+  /// Learning rate in effect for the current step.
+  float current_lr() const;
+
+ private:
+  void update_raw(float* p, const float* g, la::Index n);
+
+  OptimizerConfig config_;
+  std::uint64_t step_ = 0;
+  // Per-parameter state, keyed by the parameter's storage address.
+  std::unordered_map<const float*, std::vector<float>> state_;
+};
+
+}  // namespace deepphi::core

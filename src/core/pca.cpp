@@ -1,0 +1,180 @@
+#include "core/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "la/gemm.hpp"
+#include "la/reduce.hpp"
+#include "phi/kernel_stats.hpp"
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+void jacobi_eigen_symmetric(std::vector<double>& a, la::Index n,
+                            std::vector<double>& eigenvalues,
+                            std::vector<double>& eigenvectors, int max_sweeps,
+                            double tol) {
+  DEEPPHI_CHECK_MSG(static_cast<la::Index>(a.size()) == n * n,
+                    "matrix size mismatch");
+  const std::size_t un = static_cast<std::size_t>(n);
+  eigenvectors.assign(un * un, 0.0);
+  for (std::size_t i = 0; i < un; ++i) eigenvectors[i * un + i] = 1.0;
+
+  auto off_norm = [&] {
+    double s = 0;
+    for (std::size_t p = 0; p < un; ++p)
+      for (std::size_t q = p + 1; q < un; ++q) s += a[p * un + q] * a[p * un + q];
+    return std::sqrt(2 * s);
+  };
+  double scale = 0;
+  for (std::size_t i = 0; i < un; ++i) scale += std::fabs(a[i * un + i]);
+  scale = std::max(scale, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_norm() <= tol * scale) break;
+    for (std::size_t p = 0; p < un; ++p) {
+      for (std::size_t q = p + 1; q < un; ++q) {
+        const double apq = a[p * un + q];
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = a[p * un + p];
+        const double aqq = a[q * un + q];
+        // Classic Jacobi rotation (Golub & Van Loan §8.5).
+        const double theta = (aqq - app) / (2 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < un; ++k) {
+          const double akp = a[k * un + p];
+          const double akq = a[k * un + q];
+          a[k * un + p] = c * akp - s * akq;
+          a[k * un + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < un; ++k) {
+          const double apk = a[p * un + k];
+          const double aqk = a[q * un + k];
+          a[p * un + k] = c * apk - s * aqk;
+          a[q * un + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < un; ++k) {
+          const double vkp = eigenvectors[k * un + p];
+          const double vkq = eigenvectors[k * un + q];
+          eigenvectors[k * un + p] = c * vkp - s * vkq;
+          eigenvectors[k * un + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigenvalues.resize(un);
+  for (std::size_t i = 0; i < un; ++i) eigenvalues[i] = a[i * un + i];
+}
+
+Pca Pca::fit(const data::Dataset& data, la::Index components) {
+  DEEPPHI_CHECK_MSG(!data.empty(), "PCA on an empty dataset");
+  const la::Index n = data.size();
+  const la::Index d = data.dim();
+  DEEPPHI_CHECK_MSG(components >= 1 && components <= d,
+                    "components " << components << " out of [1, " << d << "]");
+  DEEPPHI_CHECK_MSG(n >= 2, "PCA needs at least 2 examples");
+  const std::size_t ud = static_cast<std::size_t>(d);
+
+  Pca pca;
+  // Mean in double.
+  std::vector<double> mean(ud, 0.0);
+  for (la::Index i = 0; i < n; ++i) {
+    const float* x = data.example(i);
+    for (std::size_t j = 0; j < ud; ++j) mean[j] += x[j];
+  }
+  for (auto& m : mean) m /= static_cast<double>(n);
+
+  // Covariance (upper triangle, then mirrored).
+  phi::record(phi::loop_contribution(n * d * d / 2, 2.0, 1.0, 0.0));
+  std::vector<double> cov(ud * ud, 0.0);
+  std::vector<double> centered(ud);
+  for (la::Index i = 0; i < n; ++i) {
+    const float* x = data.example(i);
+    for (std::size_t j = 0; j < ud; ++j) centered[j] = x[j] - mean[j];
+    for (std::size_t p = 0; p < ud; ++p) {
+      const double cp = centered[p];
+      for (std::size_t q = p; q < ud; ++q) cov[p * ud + q] += cp * centered[q];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t p = 0; p < ud; ++p)
+    for (std::size_t q = p; q < ud; ++q) {
+      cov[p * ud + q] *= inv;
+      cov[q * ud + p] = cov[p * ud + q];
+    }
+
+  std::vector<double> eigenvalues, eigenvectors;
+  jacobi_eigen_symmetric(cov, d, eigenvalues, eigenvectors);
+
+  // Sort descending, keep top-k.
+  std::vector<std::size_t> order(ud);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return eigenvalues[a] > eigenvalues[b];
+  });
+  double total = 0, kept = 0;
+  for (double v : eigenvalues) total += std::max(v, 0.0);
+
+  pca.mean_ = la::Vector(d);
+  for (std::size_t j = 0; j < ud; ++j)
+    pca.mean_[static_cast<la::Index>(j)] = static_cast<float>(mean[j]);
+  pca.basis_ = la::Matrix(components, d);
+  pca.eigenvalues_ = la::Vector(components);
+  for (la::Index k = 0; k < components; ++k) {
+    const std::size_t col = order[static_cast<std::size_t>(k)];
+    pca.eigenvalues_[k] = static_cast<float>(eigenvalues[col]);
+    kept += std::max(eigenvalues[col], 0.0);
+    for (std::size_t j = 0; j < ud; ++j)
+      pca.basis_(k, static_cast<la::Index>(j)) =
+          static_cast<float>(eigenvectors[j * ud + col]);
+  }
+  pca.explained_ratio_ = total > 0 ? kept / total : 0.0;
+  return pca;
+}
+
+void Pca::encode(const la::Matrix& x, la::Matrix& code) const {
+  DEEPPHI_CHECK_MSG(x.cols() == dim(), "input dim " << x.cols() << " != " << dim());
+  if (code.rows() != x.rows() || code.cols() != components())
+    code = la::Matrix::uninitialized(x.rows(), components());
+  phi::record(phi::loop_contribution(x.size(), 1.0, 1.0, 1.0));
+  // Centered copy, then one GEMM against the basis.
+  la::Matrix centered = x;
+  for (la::Index r = 0; r < centered.rows(); ++r) {
+    float* row = centered.row(r);
+    for (la::Index c = 0; c < centered.cols(); ++c) row[c] -= mean_[c];
+  }
+  la::gemm_nt(1.0f, centered, basis_, 0.0f, code);
+}
+
+void Pca::decode(const la::Matrix& code, la::Matrix& out) const {
+  DEEPPHI_CHECK_MSG(code.cols() == components(),
+                    "code dim " << code.cols() << " != " << components());
+  if (out.rows() != code.rows() || out.cols() != dim())
+    out = la::Matrix::uninitialized(code.rows(), dim());
+  la::gemm_nn(1.0f, code, basis_, 0.0f, out);
+  phi::record(phi::loop_contribution(out.size(), 1.0, 1.0, 1.0));
+  for (la::Index r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    for (la::Index c = 0; c < out.cols(); ++c) row[c] += mean_[c];
+  }
+}
+
+double Pca::reconstruction_error(const data::Dataset& data,
+                                 la::Index max_examples) const {
+  DEEPPHI_CHECK_MSG(data.dim() == dim(), "dataset dim mismatch");
+  const la::Index n = std::min(max_examples, data.size());
+  DEEPPHI_CHECK_MSG(n > 0, "empty dataset");
+  la::Matrix x = la::Matrix::uninitialized(n, dim());
+  data.copy_batch(0, n, x);
+  la::Matrix code, recon;
+  encode(x, code);
+  decode(code, recon);
+  return la::sum_sq_diff(recon, x) / static_cast<double>(n);
+}
+
+}  // namespace deepphi::core

@@ -1,0 +1,65 @@
+// Principal Component Analysis — the baseline the paper's abstract measures
+// deep features against ("high-dimensional representations or abstract
+// features which work much better than the principal component analysis
+// (PCA) method").
+//
+// Fit builds the d×d covariance of the (mean-centered) data and
+// diagonalizes it with a cyclic Jacobi eigensolver in double precision —
+// exact for the d ≤ a-few-thousand regime of patch experiments, with no
+// external LAPACK.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "la/matrix.hpp"
+
+namespace deepphi::core {
+
+class Pca {
+ public:
+  /// Fits the top-`components` principal directions of `data`.
+  static Pca fit(const data::Dataset& data, la::Index components);
+
+  la::Index components() const { return basis_.rows(); }
+  la::Index dim() const { return basis_.cols(); }
+
+  /// Per-feature mean removed before projection.
+  const la::Vector& mean() const { return mean_; }
+  /// Orthonormal principal directions, one per row (k×dim), by decreasing
+  /// eigenvalue.
+  const la::Matrix& basis() const { return basis_; }
+  /// Covariance eigenvalues of the kept components, descending.
+  const la::Vector& eigenvalues() const { return eigenvalues_; }
+  /// Fraction of total variance captured by the kept components.
+  double explained_variance_ratio() const { return explained_ratio_; }
+
+  /// code = (x − mean)·basisᵀ, x is batch×dim, code batch×k.
+  void encode(const la::Matrix& x, la::Matrix& code) const;
+
+  /// x̂ = code·basis + mean.
+  void decode(const la::Matrix& code, la::Matrix& out) const;
+
+  /// Mean per-example squared reconstruction error over (a prefix of) the
+  /// dataset — directly comparable to core::reconstruction_error for the
+  /// autoencoder.
+  double reconstruction_error(const data::Dataset& data,
+                              la::Index max_examples = 1000) const;
+
+ private:
+  Pca() = default;
+  la::Vector mean_;
+  la::Matrix basis_;
+  la::Vector eigenvalues_;
+  double explained_ratio_ = 0;
+};
+
+/// Cyclic Jacobi diagonalization of a symmetric matrix (double precision,
+/// in-place): fills `eigenvalues` (unsorted) and `eigenvectors` (one per
+/// column). Exposed for tests.
+void jacobi_eigen_symmetric(std::vector<double>& a, la::Index n,
+                            std::vector<double>& eigenvalues,
+                            std::vector<double>& eigenvectors,
+                            int max_sweeps = 50, double tol = 1e-12);
+
+}  // namespace deepphi::core

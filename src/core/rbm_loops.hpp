@@ -1,0 +1,24 @@
+// Loop-form RBM CD-k step — the Baseline / OpenMP rows of the Table I
+// ladder, mirroring autoencoder_loops.hpp: identical math to Rbm::gradient
+// but naive scalar loops recorded in the naive KernelStats class.
+// Sampling uses the same (rng.split(phase)).split(row) stream convention as
+// the optimized kernels, so all ladder levels produce bit-identical
+// gradients — the parity tests rely on it.
+#pragma once
+
+#include "core/gradient_buffers.hpp"
+#include "core/rbm.hpp"
+
+namespace deepphi::core {
+
+/// CD-k gradient via naive loops; fills `grads` (descent direction), returns
+/// the mean squared reconstruction error.
+double rbm_gradient_loops(const Rbm& model, const la::Matrix& v1,
+                          Rbm::Workspace& ws, RbmGradients& grads,
+                          const util::Rng& rng, bool parallel);
+
+/// θ ← θ − lr · g via naive loops.
+void rbm_apply_update_loops(Rbm& model, const RbmGradients& grads, float lr,
+                            bool parallel);
+
+}  // namespace deepphi::core

@@ -1,0 +1,83 @@
+// Multinomial logistic regression (softmax) head — the "subsequent work" the
+// paper's unsupervised features exist for ("this low-dimensional data can be
+// viewed as a code or extracted features to make it easier to learn tasks of
+// interests"). Trained on raw pixels it is the baseline; trained on
+// stacked-autoencoder / DBN codes it demonstrates the value of pre-training
+// (examples/classify_digits.cpp).
+//
+//   p(c | x) = softmax(W x + b)_c
+//   J = −(1/m) Σᵢ log p(yᵢ | xᵢ) + (λ/2)‖W‖²
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "la/matrix.hpp"
+
+namespace deepphi::core {
+
+struct SoftmaxConfig {
+  la::Index dim = 0;      // input dimensionality
+  la::Index classes = 0;  // number of classes
+  float lambda = 1e-4f;   // weight decay
+};
+
+class SoftmaxClassifier {
+ public:
+  SoftmaxClassifier(SoftmaxConfig config, std::uint64_t seed);
+
+  const SoftmaxConfig& config() const { return config_; }
+  la::Matrix& w() { return w_; }  // classes×dim
+  la::Vector& b() { return b_; }
+  const la::Matrix& w() const { return w_; }
+  const la::Vector& b() const { return b_; }
+
+  struct Workspace {
+    la::Matrix logits;  // batch×classes, holds probabilities after gradient
+  };
+
+  struct Gradients {
+    la::Matrix g_w;
+    la::Vector g_b;
+  };
+
+  /// Class probabilities for x (batch×dim) into `probs` (batch×classes).
+  void probabilities(const la::Matrix& x, la::Matrix& probs) const;
+
+  /// Cross-entropy gradient on (x, labels); labels in [0, classes). Returns
+  /// the batch cost (mean NLL + decay).
+  double gradient(const la::Matrix& x, const std::vector<int>& labels,
+                  Workspace& ws, Gradients& grads) const;
+
+  /// θ ← θ − lr · g.
+  void apply_update(const Gradients& grads, float lr);
+
+  /// argmax class per row of x.
+  std::vector<int> predict(const la::Matrix& x) const;
+
+  /// Fraction of correct predictions.
+  double accuracy(const la::Matrix& x, const std::vector<int>& labels) const;
+
+  struct TrainConfig {
+    la::Index batch_size = 128;
+    int epochs = 10;
+    float lr = 0.5f;
+    std::uint64_t seed = 1;
+  };
+
+  struct TrainReport {
+    std::vector<double> epoch_costs;
+  };
+
+  /// Mini-batch SGD over (dataset, labels), shuffled each epoch.
+  TrainReport train(const data::Dataset& dataset,
+                    const std::vector<int>& labels, const TrainConfig& config);
+
+ private:
+  SoftmaxConfig config_;
+  la::Matrix w_;
+  la::Vector b_;
+};
+
+}  // namespace deepphi::core

@@ -1,0 +1,205 @@
+#include "core/sparse_autoencoder.hpp"
+
+#include <cstring>
+
+#include "core/init.hpp"
+#include "la/blas1.hpp"
+#include "la/elementwise.hpp"
+#include "la/gemm.hpp"
+#include "la/transpose.hpp"
+#include "la/reduce.hpp"
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+SparseAutoencoder::SparseAutoencoder(SaeConfig config, std::uint64_t seed)
+    : config_(config),
+      w1_(config.hidden, config.visible),
+      w2_(config.visible, config.hidden),
+      b1_(config.hidden),
+      b2_(config.visible) {
+  DEEPPHI_CHECK_MSG(config.visible >= 1 && config.hidden >= 1,
+                    "SAE needs positive layer sizes, got " << config.visible
+                                                           << "x" << config.hidden);
+  util::Rng rng(seed, /*stream=*/0x5ae5ae5aULL);
+  init_weights_uniform(w1_, config.visible, config.hidden, rng);
+  if (config.tied_weights) {
+    la::transpose(w1_, w2_);
+  } else {
+    init_weights_uniform(w2_, config.hidden, config.visible, rng);
+  }
+}
+
+void SparseAutoencoder::Workspace::ensure(la::Index batch, la::Index visible,
+                                          la::Index hidden) {
+  if (y.rows() != batch || y.cols() != hidden)
+    y = la::Matrix::uninitialized(batch, hidden);
+  if (z.rows() != batch || z.cols() != visible)
+    z = la::Matrix::uninitialized(batch, visible);
+  if (delta2.rows() != batch || delta2.cols() != visible)
+    delta2 = la::Matrix::uninitialized(batch, visible);
+  if (back.rows() != batch || back.cols() != hidden)
+    back = la::Matrix::uninitialized(batch, hidden);
+  if (rho_hat.size() != hidden) rho_hat = la::Vector(hidden);
+  if (sparse.size() != hidden) sparse = la::Vector(hidden);
+}
+
+void SparseAutoencoder::forward(const la::Matrix& x, Workspace& ws,
+                                bool fused) const {
+  DEEPPHI_CHECK_MSG(x.cols() == config_.visible,
+                    "input dim " << x.cols() << " != visible " << config_.visible);
+  ws.ensure(x.rows(), config_.visible, config_.hidden);
+
+  // y = sigmoid(x·W1ᵀ + b1)
+  la::gemm_nt(1.0f, x, w1_, 0.0f, ws.y);
+  if (fused) {
+    la::bias_sigmoid(ws.y, b1_);
+  } else {
+    la::add_row_broadcast(ws.y, b1_);
+    la::sigmoid_inplace(ws.y);
+  }
+
+  // z = sigmoid(y·W2ᵀ + b2)
+  la::gemm_nt(1.0f, ws.y, w2_, 0.0f, ws.z);
+  if (fused) {
+    la::bias_sigmoid(ws.z, b2_);
+  } else {
+    la::add_row_broadcast(ws.z, b2_);
+    la::sigmoid_inplace(ws.z);
+  }
+}
+
+void SparseAutoencoder::encode(const la::Matrix& x, la::Matrix& y) const {
+  DEEPPHI_CHECK_MSG(x.cols() == config_.visible,
+                    "input dim " << x.cols() << " != visible " << config_.visible);
+  if (y.rows() != x.rows() || y.cols() != config_.hidden)
+    y = la::Matrix::uninitialized(x.rows(), config_.hidden);
+  la::gemm_nt(1.0f, x, w1_, 0.0f, y);
+  la::bias_sigmoid(y, b1_);
+}
+
+double SparseAutoencoder::cost(const la::Matrix& x, Workspace& ws) const {
+  const double m = static_cast<double>(x.rows());
+  la::col_mean(ws.y, ws.rho_hat);
+  const double recon = la::sum_sq_diff(ws.z, x) / (2.0 * m);
+  const double decay = 0.5 * config_.lambda * (la::nrm2sq(w1_) + la::nrm2sq(w2_));
+  const double sparse = config_.beta * la::kl_divergence(config_.rho, ws.rho_hat);
+  return recon + decay + sparse;
+}
+
+double SparseAutoencoder::gradient(const la::Matrix& x, Workspace& ws,
+                                   AeGradients& grads, bool fused) const {
+  return gradient(x, x, ws, grads, fused);
+}
+
+double SparseAutoencoder::gradient(const la::Matrix& input,
+                                   const la::Matrix& target, Workspace& ws,
+                                   AeGradients& grads, bool fused) const {
+  DEEPPHI_CHECK_MSG(input.rows() == target.rows() &&
+                        input.cols() == target.cols(),
+                    "denoising input/target shape mismatch");
+  const la::Matrix& x = input;
+  forward(x, ws, fused);
+  grads.ensure(config_.visible, config_.hidden);
+  const la::Index m = x.rows();
+  const float inv_m = 1.0f / static_cast<float>(m);
+
+  // Mean hidden activation (needed by both the cost and the sparsity delta).
+  la::col_mean(ws.y, ws.rho_hat);
+  const double cost_value =
+      la::sum_sq_diff(ws.z, target) / (2.0 * m) +
+      0.5 * config_.lambda * (la::nrm2sq(w1_) + la::nrm2sq(w2_)) +
+      config_.beta * la::kl_divergence(config_.rho, ws.rho_hat);
+
+  // Output layer: delta2 = (z − target) ⊙ z ⊙ (1 − z).
+  if (fused) {
+    la::output_delta(ws.z, target, ws.delta2);
+  } else {
+    la::sub(ws.z, target, ws.delta2);
+    la::dsigmoid_mul_inplace(ws.delta2, ws.z);
+  }
+
+  // ∂J/∂W2 = delta2ᵀ·y / m + λ·W2 ;  ∂J/∂b2 = mean over batch of delta2.
+  la::gemm_tn(inv_m, ws.delta2, ws.y, 0.0f, grads.g_w2);
+  la::axpy(config_.lambda, w2_, grads.g_w2);
+  la::col_sum(ws.delta2, grads.g_b2);
+  la::scal(inv_m, grads.g_b2);
+
+  // Hidden layer: back = (delta2·W2 + sparsity term) ⊙ y ⊙ (1 − y).
+  la::gemm_nn(1.0f, ws.delta2, w2_, 0.0f, ws.back);
+  la::sparsity_delta(config_.rho, config_.beta, ws.rho_hat, ws.sparse);
+  if (fused) {
+    la::hidden_delta(ws.back, ws.sparse, ws.y);
+  } else {
+    la::add_row_broadcast(ws.back, ws.sparse);
+    la::dsigmoid_mul_inplace(ws.back, ws.y);
+  }
+
+  // ∂J/∂W1 = backᵀ·x / m + λ·W1 ;  ∂J/∂b1 = mean over batch of back.
+  la::gemm_tn(inv_m, ws.back, x, 0.0f, grads.g_w1);
+  la::axpy(config_.lambda, w1_, grads.g_w1);
+  la::col_sum(ws.back, grads.g_b1);
+  la::scal(inv_m, grads.g_b1);
+
+  if (config_.tied_weights) {
+    // The shared weight's gradient is g_w1 + g_w2ᵀ; publish it in BOTH
+    // buffers (g_w2 = combinedᵀ) so per-buffer update rules keep W2 = W1ᵀ.
+    if (ws.tied_scratch.rows() != config_.hidden ||
+        ws.tied_scratch.cols() != config_.visible)
+      ws.tied_scratch = la::Matrix::uninitialized(config_.hidden, config_.visible);
+    la::transpose(grads.g_w2, ws.tied_scratch);
+    la::axpy(1.0f, ws.tied_scratch, grads.g_w1);
+    la::transpose(grads.g_w1, grads.g_w2);
+  }
+
+  return cost_value;
+}
+
+void SparseAutoencoder::apply_update(const AeGradients& grads, float lr) {
+  la::axpy(-lr, grads.g_w1, w1_);
+  la::axpy(-lr, grads.g_b1, b1_);
+  la::axpy(-lr, grads.g_w2, w2_);
+  la::axpy(-lr, grads.g_b2, b2_);
+}
+
+la::Index SparseAutoencoder::param_count() const {
+  return w1_.size() + b1_.size() + w2_.size() + b2_.size();
+}
+
+void SparseAutoencoder::get_params(float* out) const {
+  std::size_t off = 0;
+  auto put = [&](const float* p, la::Index n) {
+    std::memcpy(out + off, p, sizeof(float) * static_cast<std::size_t>(n));
+    off += static_cast<std::size_t>(n);
+  };
+  put(w1_.data(), w1_.size());
+  put(b1_.data(), b1_.size());
+  put(w2_.data(), w2_.size());
+  put(b2_.data(), b2_.size());
+}
+
+void SparseAutoencoder::set_params(const float* in) {
+  std::size_t off = 0;
+  auto take = [&](float* p, la::Index n) {
+    std::memcpy(p, in + off, sizeof(float) * static_cast<std::size_t>(n));
+    off += static_cast<std::size_t>(n);
+  };
+  take(w1_.data(), w1_.size());
+  take(b1_.data(), b1_.size());
+  take(w2_.data(), w2_.size());
+  take(b2_.data(), b2_.size());
+}
+
+void SparseAutoencoder::flatten(const AeGradients& grads, float* out) {
+  std::size_t off = 0;
+  auto put = [&](const float* p, la::Index n) {
+    std::memcpy(out + off, p, sizeof(float) * static_cast<std::size_t>(n));
+    off += static_cast<std::size_t>(n);
+  };
+  put(grads.g_w1.data(), grads.g_w1.size());
+  put(grads.g_b1.data(), grads.g_b1.size());
+  put(grads.g_w2.data(), grads.g_w2.size());
+  put(grads.g_b2.data(), grads.g_b2.size());
+}
+
+}  // namespace deepphi::core

@@ -1,0 +1,70 @@
+#include "core/stacked_autoencoder.hpp"
+
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+StackedAutoencoder::StackedAutoencoder(std::vector<la::Index> layer_sizes,
+                                       const SaeConfig& proto,
+                                       std::uint64_t seed)
+    : sizes_(std::move(layer_sizes)) {
+  DEEPPHI_CHECK_MSG(sizes_.size() >= 2, "need at least two layer sizes, got "
+                                            << sizes_.size());
+  for (std::size_t k = 0; k + 1 < sizes_.size(); ++k) {
+    SaeConfig cfg = proto;
+    cfg.visible = sizes_[k];
+    cfg.hidden = sizes_[k + 1];
+    layers_.emplace_back(cfg, seed + k);
+  }
+}
+
+std::vector<TrainReport> StackedAutoencoder::pretrain(
+    const data::Dataset& dataset, const TrainerConfig& config) {
+  DEEPPHI_CHECK_MSG(dataset.dim() == sizes_.front(),
+                    "dataset dim " << dataset.dim() << " != input layer "
+                                   << sizes_.front());
+  std::vector<TrainReport> reports;
+  Trainer trainer(config);
+
+  // current holds the training set of the layer being trained.
+  data::Dataset current;
+  const data::Dataset* input = &dataset;
+  for (std::size_t k = 0; k < layers_.size(); ++k) {
+    reports.push_back(trainer.train(layers_[k], *input));
+    if (k + 1 == layers_.size()) break;
+
+    // Encode the layer's training set to build the next layer's inputs
+    // (batched to bound the temporary matrices).
+    data::Dataset next(input->size(), layers_[k].hidden());
+    const la::Index enc_batch = std::min<la::Index>(config.batch_size, 4096);
+    la::Matrix in_batch, out_batch;
+    for (la::Index begin = 0; begin < input->size(); begin += enc_batch) {
+      const la::Index count = std::min(enc_batch, input->size() - begin);
+      if (in_batch.rows() != count || in_batch.cols() != input->dim())
+        in_batch = la::Matrix::uninitialized(count, input->dim());
+      input->copy_batch(begin, count, in_batch);
+      layers_[k].encode(in_batch, out_batch);
+      for (la::Index r = 0; r < count; ++r)
+        std::copy(out_batch.row(r), out_batch.row(r) + out_batch.cols(),
+                  next.example(begin + r));
+    }
+    current = std::move(next);
+    input = &current;
+  }
+  return reports;
+}
+
+void StackedAutoencoder::encode(const la::Matrix& x, la::Matrix& out) const {
+  DEEPPHI_CHECK_MSG(x.cols() == sizes_.front(),
+                    "input dim " << x.cols() << " != " << sizes_.front());
+  la::Matrix current = x;
+  la::Matrix next;
+  for (const auto& layer : layers_) {
+    layer.encode(current, next);
+    current = std::move(next);
+    next = la::Matrix();
+  }
+  out = std::move(current);
+}
+
+}  // namespace deepphi::core

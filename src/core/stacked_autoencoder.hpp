@@ -1,0 +1,46 @@
+// Stacked Autoencoder (paper Fig. 1): greedy layer-wise unsupervised
+// pre-training. Layer k is a Sparse Autoencoder trained on the hidden
+// activations of layer k−1 ("The output dataset is then used as the input
+// training set of the second Autoencoder"); after pre-training, encode()
+// runs the full encoder stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sparse_autoencoder.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+
+namespace deepphi::core {
+
+class StackedAutoencoder {
+ public:
+  /// `layer_sizes` = {visible, h1, h2, ...}: layer k is an SAE with
+  /// visible=layer_sizes[k], hidden=layer_sizes[k+1]. The paper's Table I
+  /// network is {1024, 512, 256, 128}. The SAE hyperparameters of `proto`
+  /// (λ, ρ, β) apply to every layer.
+  StackedAutoencoder(std::vector<la::Index> layer_sizes, const SaeConfig& proto,
+                     std::uint64_t seed);
+
+  std::size_t layers() const { return layers_.size(); }
+  SparseAutoencoder& layer(std::size_t k) { return layers_[k]; }
+  const SparseAutoencoder& layer(std::size_t k) const { return layers_[k]; }
+  const std::vector<la::Index>& layer_sizes() const { return sizes_; }
+
+  /// Greedy layer-wise pre-training: trains layer 0 on `dataset`, encodes
+  /// the dataset through it, trains layer 1 on the encodings, and so on.
+  /// Returns one TrainReport per layer.
+  std::vector<TrainReport> pretrain(const data::Dataset& dataset,
+                                    const TrainerConfig& config);
+
+  /// Encodes x (batch×visible) through every layer into `out`
+  /// (batch×layer_sizes.back()).
+  void encode(const la::Matrix& x, la::Matrix& out) const;
+
+ private:
+  std::vector<la::Index> sizes_;
+  std::vector<SparseAutoencoder> layers_;
+};
+
+}  // namespace deepphi::core

@@ -1,0 +1,277 @@
+#include "core/trainer.hpp"
+
+#include <cstring>
+#include <memory>
+
+#include "core/autoencoder_loops.hpp"
+#include "core/rbm_loops.hpp"
+#include "core/rbm_taskgraph.hpp"
+#include "data/chunk_stream.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace deepphi::core {
+
+namespace {
+
+// Copies rows [begin, begin+count) of `chunk` into the reusable batch buffer.
+// Host-side staging (pointer bookkeeping on the real device), so it is not
+// recorded as kernel work.
+void slice_batch(const la::Matrix& chunk, la::Index begin, la::Index count,
+                 la::Matrix& batch) {
+  if (batch.rows() != count || batch.cols() != chunk.cols())
+    batch = la::Matrix::uninitialized(count, chunk.cols());
+  std::memcpy(batch.data(), chunk.row(begin),
+              sizeof(float) * static_cast<std::size_t>(count * chunk.cols()));
+}
+
+}  // namespace
+
+phi::KernelStats TrainReport::per_chunk_compute_stats() const {
+  phi::KernelStats compute = stats;
+  compute.h2d_bytes = 0;
+  compute.d2h_bytes = 0;
+  compute.transfers = 0;
+  return chunks > 0 ? compute.scaled(1.0 / static_cast<double>(chunks))
+                    : compute;
+}
+
+Trainer::Trainer(TrainerConfig config) : config_(config) {
+  DEEPPHI_CHECK_MSG(config.batch_size >= 1, "batch_size must be >= 1");
+  DEEPPHI_CHECK_MSG(config.chunk_examples >= config.batch_size,
+                    "chunk_examples (" << config.chunk_examples
+                                       << ") must cover at least one batch ("
+                                       << config.batch_size << ")");
+  DEEPPHI_CHECK_MSG(config.epochs >= 1, "epochs must be >= 1");
+  DEEPPHI_CHECK_MSG(config.ring_chunks >= 1, "ring_chunks must be >= 1");
+  DEEPPHI_CHECK_MSG(!config.use_taskgraph || is_matrix_form(config.level),
+                    "the Fig. 6 task graph requires a matrix-form level");
+}
+
+namespace {
+
+// RAII over the device-arena reservations a monitored training run makes.
+class DeviceReservation {
+ public:
+  DeviceReservation(phi::Device* device, double model_bytes,
+                    double workspace_bytes, double ring_bytes)
+      : device_(device) {
+    if (!device_) return;
+    try {
+      ids_.push_back(device_->alloc("model+gradients", model_bytes));
+      ids_.push_back(device_->alloc("workspace", workspace_bytes));
+      ids_.push_back(device_->alloc("chunk-ring", ring_bytes));
+    } catch (...) {
+      // A partially constructed object gets no destructor call: release
+      // whatever was reserved before the OOM, then rethrow.
+      for (auto id : ids_) device_->free(id);
+      throw;
+    }
+  }
+  ~DeviceReservation() {
+    if (device_)
+      for (auto id : ids_) device_->free(id);
+  }
+  DeviceReservation(const DeviceReservation&) = delete;
+  DeviceReservation& operator=(const DeviceReservation&) = delete;
+
+ private:
+  phi::Device* device_;
+  std::vector<phi::Device::BufferId> ids_;
+};
+
+}  // namespace
+
+template <typename StepFn>
+TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
+                              double model_bytes, StepFn&& step) {
+  DEEPPHI_CHECK_MSG(dataset.dim() == dim,
+                    "dataset dim " << dataset.dim() << " != model visible "
+                                   << dim);
+  DEEPPHI_CHECK_MSG(!dataset.empty(), "empty dataset");
+
+  TrainReport report;
+  report.chunk_bytes =
+      4.0 * static_cast<double>(config_.chunk_examples) * dim;
+  util::Timer timer;
+  phi::StatsScope scope(report.stats);
+
+  phi::Device* device = config_.device;
+  // Model + gradients + per-batch temporaries + the Fig. 5 chunk ring must
+  // fit the card. Workspace ≈ 4 batch-sized activation matrices (the SAE's
+  // y/z/delta2/back; the RBM's four phase matrices are no larger).
+  const double workspace_bytes =
+      4.0 * 4.0 * static_cast<double>(config_.batch_size) * dim;
+  DeviceReservation reservation(
+      device, 2.0 * model_bytes, workspace_bytes,
+      static_cast<double>(config_.ring_chunks) * report.chunk_bytes);
+  const bool async_loading = config_.policy == ExecPolicy::kPhiOffload;
+  std::vector<double> slot_free(config_.ring_chunks, 0.0);
+  double last_compute_end = 0.0;
+
+  la::Matrix batch;
+  std::int64_t global_step = 0;
+  bool stop = false;
+  for (int epoch = 0; epoch < config_.epochs && !stop; ++epoch) {
+    data::ChunkStreamConfig stream_cfg;
+    stream_cfg.chunk_examples = config_.chunk_examples;
+    stream_cfg.background = async_loading;
+    stream_cfg.ring_chunks = config_.ring_chunks;
+    data::ChunkStream stream(dataset, stream_cfg);
+
+    while (!stop) {
+      auto chunk = stream.next();
+      if (!chunk) break;
+      // The chunk crosses the host→device link (Fig. 5).
+      const double chunk_bytes = 4.0 * static_cast<double>(chunk->size());
+      phi::record(phi::h2d_contribution(chunk_bytes));
+      double transfer_end = 0.0;
+      if (device) {
+        const std::size_t slot =
+            static_cast<std::size_t>(report.chunks) % config_.ring_chunks;
+        double ready = slot_free[slot];
+        if (!async_loading) ready = std::max(ready, last_compute_end);
+        transfer_end = device->submit_transfer(
+            "chunk[" + std::to_string(report.chunks) + "] h2d", chunk_bytes,
+            ready);
+      }
+
+      double chunk_cost = 0;
+      std::int64_t chunk_batches = 0;
+      phi::KernelStats chunk_stats;
+      {
+        phi::StatsScope chunk_scope(chunk_stats);
+        for (la::Index begin = 0; begin < chunk->rows();
+             begin += config_.batch_size) {
+          const la::Index count =
+              std::min(config_.batch_size, chunk->rows() - begin);
+          slice_batch(*chunk, begin, count, batch);
+          const double cost = step(batch, global_step);
+          ++global_step;
+          ++chunk_batches;
+          chunk_cost += cost;
+          report.final_cost = cost;
+        }
+      }
+      phi::record(chunk_stats);  // merge the chunk's work into report.stats
+      if (device) {
+        const double compute_end = device->submit_compute(
+            "chunk[" + std::to_string(report.chunks) + "] train", chunk_stats,
+            transfer_end);
+        slot_free[static_cast<std::size_t>(report.chunks) %
+                  config_.ring_chunks] = compute_end;
+        last_compute_end = compute_end;
+      }
+
+      report.batches += chunk_batches;
+      ++report.chunks;
+      const double chunk_mean = chunk_cost / static_cast<double>(chunk_batches);
+      report.chunk_mean_costs.push_back(chunk_mean);
+      // Algorithm 1's stop condition.
+      if (config_.target_cost > 0 && chunk_mean <= config_.target_cost)
+        stop = true;
+      if (config_.max_batches > 0 && report.batches >= config_.max_batches)
+        stop = true;
+    }
+  }
+
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+TrainReport Trainer::train(SparseAutoencoder& model,
+                           const data::Dataset& dataset) {
+  SparseAutoencoder::Workspace ws;
+  AeGradients grads;
+  Optimizer optimizer(config_.optimizer);
+  const OptLevel level = config_.level;
+
+  auto step = [&](const la::Matrix& batch, std::int64_t) {
+    double cost = 0;
+    if (is_matrix_form(level)) {
+      cost = model.gradient(batch, ws, grads, is_fused(level));
+      optimizer.update(model.w1(), grads.g_w1);
+      optimizer.update(model.b1(), grads.g_b1);
+      optimizer.update(model.w2(), grads.g_w2);
+      optimizer.update(model.b2(), grads.g_b2);
+      optimizer.end_step();
+    } else {
+      const bool parallel = level == OptLevel::kOpenMp;
+      cost = sae_gradient_loops(model, batch, ws, grads, parallel);
+      sae_apply_update_loops(model, grads, config_.optimizer.lr, parallel);
+    }
+    return cost;
+  };
+  const double model_bytes = 4.0 * static_cast<double>(model.param_count());
+  return run_loop(dataset, model.visible(), model_bytes, step);
+}
+
+TrainReport Trainer::train(Rbm& model, const data::Dataset& dataset) {
+  Rbm::Workspace ws;
+  RbmGradients grads;
+  Optimizer optimizer(config_.optimizer);
+  const OptLevel level = config_.level;
+  util::Rng sampling_base(config_.seed, /*stream=*/0x5a3bULL);
+
+  std::unique_ptr<par::ThreadPool> pool;
+  std::unique_ptr<RbmTaskGraphStep> graph_step;
+  if (config_.use_taskgraph) {
+    pool = std::make_unique<par::ThreadPool>(
+        static_cast<unsigned>(config_.taskgraph_threads));
+    graph_step = std::make_unique<RbmTaskGraphStep>(model, *pool);
+  }
+
+  auto step = [&](const la::Matrix& batch, std::int64_t global_step) {
+    const util::Rng step_rng =
+        sampling_base.split(static_cast<std::uint64_t>(global_step));
+    double recon = 0;
+    if (is_matrix_form(level)) {
+      if (graph_step) {
+        recon = graph_step->run(batch, ws, grads, step_rng);
+      } else {
+        recon = model.gradient(batch, ws, grads, step_rng, is_fused(level));
+      }
+      optimizer.update(model.w(), grads.g_w);
+      optimizer.update(model.b(), grads.g_b);
+      optimizer.update(model.c(), grads.g_c);
+      optimizer.end_step();
+    } else {
+      const bool parallel = level == OptLevel::kOpenMp;
+      recon = rbm_gradient_loops(model, batch, ws, grads, step_rng, parallel);
+      rbm_apply_update_loops(model, grads, config_.optimizer.lr, parallel);
+    }
+    return recon;
+  };
+  const double model_bytes =
+      4.0 * static_cast<double>(model.w().size() + model.b().size() +
+                                model.c().size());
+  return run_loop(dataset, model.visible(), model_bytes, step);
+}
+
+SimulatedTime simulate(const TrainReport& report, phi::Device& device,
+                       int ring_chunks) {
+  SimulatedTime out;
+  const phi::KernelStats per_chunk = report.per_chunk_compute_stats();
+  out.total = device.cost_model().evaluate(
+      per_chunk.scaled(static_cast<double>(report.chunks)), device.threads());
+
+  // Pipelined (Fig. 5 loading thread).
+  device.reset_timeline();
+  phi::Offload pipelined(device, phi::OffloadConfig{true, ring_chunks});
+  out.pipelined_s = pipelined
+                        .process_chunks(static_cast<int>(report.chunks),
+                                        report.chunk_bytes, per_chunk)
+                        .total_s;
+
+  // Serialized (no loading thread).
+  device.reset_timeline();
+  phi::Offload serialized(device, phi::OffloadConfig{false, ring_chunks});
+  out.serialized_s = serialized
+                         .process_chunks(static_cast<int>(report.chunks),
+                                         report.chunk_bytes, per_chunk)
+                         .total_s;
+  device.reset_timeline();
+  return out;
+}
+
+}  // namespace deepphi::core

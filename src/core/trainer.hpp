@@ -1,0 +1,107 @@
+// Mini-batch trainer implementing the paper's Algorithm 1:
+//
+//   while stop condition not satisfied:
+//     get a chunk of data from the buffer area in global memory
+//     split the chunk into many smaller training batches
+//     for each small training batch:
+//       compute the gradient; update the parameters
+//
+// The chunk feed follows Fig. 5 (background loading thread + ring buffer
+// under ExecPolicy::kPhiOffload); the gradient step follows the Table I
+// ladder level (core/levels.hpp). All work is recorded as KernelStats, so a
+// finished TrainReport can be replayed on any simulated machine via
+// simulate() — that replay is how the benches obtain Phi/CPU/Matlab times on
+// hardware that no longer exists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/levels.hpp"
+#include "core/optimizer.hpp"
+#include "core/rbm.hpp"
+#include "core/sparse_autoencoder.hpp"
+#include "data/dataset.hpp"
+#include "phi/cost_model.hpp"
+#include "phi/device.hpp"
+#include "phi/offload.hpp"
+
+namespace deepphi::core {
+
+struct TrainerConfig {
+  la::Index batch_size = 1000;
+  la::Index chunk_examples = 10000;
+  int epochs = 1;
+  /// Algorithm 1's "while stop condition is not satisfied": training also
+  /// ends early once a chunk's mean cost falls to `target_cost` (0 = run all
+  /// epochs) or after `max_batches` gradient steps (0 = unlimited).
+  double target_cost = 0.0;
+  std::int64_t max_batches = 0;
+  OptLevel level = OptLevel::kImproved;
+  ExecPolicy policy = ExecPolicy::kPhiOffload;
+  /// Fig. 6 concurrent matrix ops for the RBM step (matrix-form levels only).
+  bool use_taskgraph = false;
+  int taskgraph_threads = 4;
+  /// Update rule for the matrix-form levels; the loop-form levels (Baseline /
+  /// OpenMP) always use plain SGD at optimizer.lr, matching the paper's
+  /// unoptimized code.
+  OptimizerConfig optimizer{};
+  std::uint64_t seed = 42;
+  std::size_t ring_chunks = 4;
+  /// Optional simulated coprocessor. When set, train() reserves the model,
+  /// gradients, workspace and chunk ring in the device's 8 GB arena (throws
+  /// on OOM — the paper's "keep all the parameters ... in our global memory
+  /// permanently" is a real constraint), and drives the device timeline
+  /// chunk by chunk as the real training executes: one DMA event per chunk
+  /// load (overlapped per Fig. 5 under kPhiOffload, serialized under kHost)
+  /// and one compute event per chunk of training. The populated trace is
+  /// available on the device afterwards. The device must outlive train().
+  phi::Device* device = nullptr;
+};
+
+struct TrainReport {
+  double final_cost = 0;        // cost of the last batch
+  std::vector<double> chunk_mean_costs;
+  std::int64_t batches = 0;
+  std::int64_t chunks = 0;
+  double chunk_bytes = 0;       // bytes of one full chunk
+  phi::KernelStats stats;       // measured work, including h2d transfers
+  double wall_seconds = 0;      // actual host wall time of the run
+
+  /// Compute-only work of an average chunk (transfers stripped) — the
+  /// quantity phi::Offload::process_chunks consumes.
+  phi::KernelStats per_chunk_compute_stats() const;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainerConfig config);
+
+  const TrainerConfig& config() const { return config_; }
+
+  /// Trains the Sparse Autoencoder over `dataset` for config.epochs passes.
+  TrainReport train(SparseAutoencoder& model, const data::Dataset& dataset);
+
+  /// Trains the RBM likewise; the reported costs are mean squared
+  /// reconstruction errors.
+  TrainReport train(Rbm& model, const data::Dataset& dataset);
+
+ private:
+  template <typename StepFn>
+  TrainReport run_loop(const data::Dataset& dataset, la::Index dim,
+                       double model_bytes, StepFn&& step);
+
+  TrainerConfig config_;
+};
+
+/// Simulated end-to-end time of a finished training run on `device`
+/// (threads already set on the device):
+struct SimulatedTime {
+  double serialized_s = 0;  // no loading thread: transfer + compute in series
+  double pipelined_s = 0;   // Fig. 5 loading thread with the given ring depth
+  phi::CostBreakdown total; // compute breakdown of the whole run
+};
+SimulatedTime simulate(const TrainReport& report, phi::Device& device,
+                       int ring_chunks = 4);
+
+}  // namespace deepphi::core

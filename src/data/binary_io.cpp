@@ -1,0 +1,57 @@
+#include "data/binary_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace deepphi::data {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'P', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_dataset(const Dataset& set, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DEEPPHI_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(kMagic, 4);
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t n = static_cast<std::uint64_t>(set.size());
+  const std::uint64_t dim = static_cast<std::uint64_t>(set.dim());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  out.write(reinterpret_cast<const char*>(set.matrix().data()),
+            static_cast<std::streamsize>(sizeof(float) * n * dim));
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  char magic[4];
+  in.read(magic, 4);
+  DEEPPHI_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                    "'" << path << "' is not a DPDS dataset (bad magic)");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  DEEPPHI_CHECK_MSG(in.good() && version == kVersion,
+                    "'" << path << "' has unsupported version " << version);
+  std::uint64_t n = 0, dim = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' truncated in header");
+  DEEPPHI_CHECK_MSG(n < (1ULL << 40) && dim < (1ULL << 32),
+                    "'" << path << "' header implausible: n=" << n
+                        << " dim=" << dim);
+  Dataset set(static_cast<Index>(n), static_cast<Index>(dim));
+  in.read(reinterpret_cast<char*>(set.matrix().data()),
+          static_cast<std::streamsize>(sizeof(float) * n * dim));
+  DEEPPHI_CHECK_MSG(in.good() || (n * dim == 0),
+                    "'" << path << "' truncated in payload");
+  return set;
+}
+
+}  // namespace deepphi::data

@@ -1,0 +1,22 @@
+// Binary dataset serialization: a tiny fixed little-endian format so large
+// synthetic sets can be generated once and streamed by the benches.
+//
+//   offset 0: magic "DPDS" (4 bytes)
+//   offset 4: version u32 = 1
+//   offset 8: n u64, dim u64
+//   offset 24: n*dim f32, row-major
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace deepphi::data {
+
+/// Writes `set` to `path`; throws util::Error on I/O failure.
+void save_dataset(const Dataset& set, const std::string& path);
+
+/// Reads a dataset; throws util::Error on missing/corrupt/truncated files.
+Dataset load_dataset(const std::string& path);
+
+}  // namespace deepphi::data

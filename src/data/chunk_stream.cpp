@@ -1,0 +1,39 @@
+#include "data/chunk_stream.hpp"
+
+#include "util/error.hpp"
+
+namespace deepphi::data {
+
+ChunkStream::ChunkStream(const Dataset& dataset, ChunkStreamConfig config)
+    : dataset_(dataset), config_(config) {
+  DEEPPHI_CHECK_MSG(config_.chunk_examples >= 1,
+                    "chunk_examples must be >= 1, got " << config_.chunk_examples);
+  if (config_.background) {
+    pipeline_ = std::make_unique<par::ChunkPipeline<la::Matrix>>(
+        config_.ring_chunks, [this] { return produce(); });
+  }
+}
+
+ChunkStream::~ChunkStream() = default;
+
+std::optional<la::Matrix> ChunkStream::produce() {
+  // Runs on the loading thread in background mode, or inline otherwise.
+  const Index n = dataset_.size();
+  if (cursor_ >= n) return std::nullopt;
+  const Index count = std::min(config_.chunk_examples, n - cursor_);
+  la::Matrix chunk = la::Matrix::uninitialized(count, dataset_.dim());
+  dataset_.copy_batch(cursor_, count, chunk);
+  cursor_ += count;
+  return chunk;
+}
+
+std::optional<la::Matrix> ChunkStream::next() {
+  if (pipeline_) return pipeline_->pop();
+  return produce();
+}
+
+Index ChunkStream::total_chunks() const {
+  return (dataset_.size() + config_.chunk_examples - 1) / config_.chunk_examples;
+}
+
+}  // namespace deepphi::data

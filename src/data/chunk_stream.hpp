@@ -1,0 +1,49 @@
+// Chunked data feeding (paper Fig. 5): the training set is consumed in large
+// chunks; with a background loading thread the next chunk is materialized
+// (and, on the simulated device, transferred) while the current one trains.
+//
+// The functional side is real: in background mode a par::ChunkPipeline runs
+// an actual loader thread that copies chunk matrices ahead of the consumer.
+// The simulated-timing side lives in phi::Offload; the Trainer couples both.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "parallel/pipeline.hpp"
+
+namespace deepphi::data {
+
+struct ChunkStreamConfig {
+  Index chunk_examples = 10000;  // examples per chunk
+  bool background = true;        // Fig. 5 loading thread on/off
+  std::size_t ring_chunks = 4;   // pipeline depth in chunks
+};
+
+class ChunkStream {
+ public:
+  /// Streams `dataset` once, front to back, in chunks of chunk_examples
+  /// (final chunk may be short). The dataset must outlive the stream.
+  ChunkStream(const Dataset& dataset, ChunkStreamConfig config);
+  ~ChunkStream();
+
+  ChunkStream(const ChunkStream&) = delete;
+  ChunkStream& operator=(const ChunkStream&) = delete;
+
+  /// Next chunk (rows×dim matrix) or nullopt when the pass is done.
+  std::optional<la::Matrix> next();
+
+  Index chunk_examples() const { return config_.chunk_examples; }
+  Index total_chunks() const;
+
+ private:
+  std::optional<la::Matrix> produce();
+
+  const Dataset& dataset_;
+  ChunkStreamConfig config_;
+  Index cursor_ = 0;
+  std::unique_ptr<par::ChunkPipeline<la::Matrix>> pipeline_;
+};
+
+}  // namespace deepphi::data

@@ -1,0 +1,51 @@
+// In-memory training set: n examples of dimension d stored as an n×d matrix
+// (one example per row) — the layout every batched kernel consumes directly.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace deepphi::data {
+
+using la::Index;
+
+class Dataset {
+ public:
+  Dataset() = default;
+  /// n examples of dimension d, zero-initialized.
+  Dataset(Index n, Index dim);
+  /// Adopts an existing matrix (rows = examples).
+  explicit Dataset(la::Matrix m);
+
+  Index size() const { return data_.rows(); }
+  Index dim() const { return data_.cols(); }
+  bool empty() const { return size() == 0; }
+
+  float* example(Index i) { return data_.row(i); }
+  const float* example(Index i) const { return data_.row(i); }
+
+  la::Matrix& matrix() { return data_; }
+  const la::Matrix& matrix() const { return data_; }
+
+  /// Copies rows [begin, begin+count) into `out` (count×dim; shapes checked).
+  void copy_batch(Index begin, Index count, la::Matrix& out) const;
+
+  /// Copies the listed rows into `out` (indices.size()×dim).
+  void copy_batch(const std::vector<Index>& indices, la::Matrix& out) const;
+
+  /// Per-element mean / min / max over the whole set (sanity checks, tests).
+  float mean() const;
+  float min() const;
+  float max() const;
+
+  /// Splits into (first `count` examples, rest) — the usual train/test cut
+  /// for i.i.d. synthetic data. `count` must be in [0, size()].
+  std::pair<Dataset, Dataset> split(Index count) const;
+
+ private:
+  la::Matrix data_;
+};
+
+}  // namespace deepphi::data

@@ -1,0 +1,175 @@
+#include "data/digits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace deepphi::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Point {
+  float x, y;
+};
+using Polyline = std::vector<Point>;
+
+void add_arc(Polyline& line, float cx, float cy, float rx, float ry, float a0,
+             float a1, int n = 12) {
+  for (int i = 0; i <= n; ++i) {
+    const float a = a0 + (a1 - a0) * static_cast<float>(i) / n;
+    line.push_back(Point{cx + rx * std::cos(a), cy + ry * std::sin(a)});
+  }
+}
+
+// Stroke skeletons per digit class, in unit coordinates (x right, y down),
+// glyphs inscribed roughly in [0.25, 0.75] × [0.18, 0.82].
+std::vector<Polyline> digit_strokes(int digit) {
+  const float pi = static_cast<float>(kPi);
+  std::vector<Polyline> strokes;
+  switch (digit) {
+    case 0: {
+      Polyline o;
+      add_arc(o, 0.5f, 0.5f, 0.22f, 0.30f, 0.0f, 2 * pi, 24);
+      strokes.push_back(o);
+      break;
+    }
+    case 1: {
+      strokes.push_back({{0.38f, 0.32f}, {0.52f, 0.18f}, {0.52f, 0.82f}});
+      strokes.push_back({{0.38f, 0.82f}, {0.66f, 0.82f}});
+      break;
+    }
+    case 2: {
+      Polyline top;
+      add_arc(top, 0.5f, 0.36f, 0.20f, 0.18f, -pi, 0.15f * pi, 14);
+      strokes.push_back(top);
+      strokes.push_back({{0.67f, 0.45f}, {0.30f, 0.82f}, {0.72f, 0.82f}});
+      break;
+    }
+    case 3: {
+      Polyline top, bottom;
+      add_arc(top, 0.48f, 0.34f, 0.20f, 0.16f, -0.8f * pi, 0.5f * pi, 14);
+      add_arc(bottom, 0.48f, 0.66f, 0.22f, 0.17f, -0.5f * pi, 0.8f * pi, 14);
+      strokes.push_back(top);
+      strokes.push_back(bottom);
+      break;
+    }
+    case 4: {
+      strokes.push_back({{0.62f, 0.18f}, {0.28f, 0.58f}, {0.76f, 0.58f}});
+      strokes.push_back({{0.62f, 0.18f}, {0.62f, 0.82f}});
+      break;
+    }
+    case 5: {
+      strokes.push_back({{0.70f, 0.18f}, {0.34f, 0.18f}, {0.32f, 0.47f}});
+      Polyline bowl;
+      add_arc(bowl, 0.48f, 0.63f, 0.22f, 0.19f, -0.55f * pi, 0.85f * pi, 16);
+      strokes.push_back(bowl);
+      break;
+    }
+    case 6: {
+      strokes.push_back({{0.62f, 0.18f}, {0.40f, 0.45f}, {0.33f, 0.62f}});
+      Polyline loop;
+      add_arc(loop, 0.5f, 0.64f, 0.18f, 0.17f, 0.0f, 2 * pi, 20);
+      strokes.push_back(loop);
+      break;
+    }
+    case 7: {
+      strokes.push_back({{0.28f, 0.18f}, {0.74f, 0.18f}, {0.44f, 0.82f}});
+      break;
+    }
+    case 8: {
+      Polyline top, bottom;
+      add_arc(top, 0.5f, 0.35f, 0.16f, 0.15f, 0.0f, 2 * pi, 18);
+      add_arc(bottom, 0.5f, 0.66f, 0.20f, 0.16f, 0.0f, 2 * pi, 20);
+      strokes.push_back(top);
+      strokes.push_back(bottom);
+      break;
+    }
+    case 9: {
+      Polyline loop;
+      add_arc(loop, 0.5f, 0.36f, 0.18f, 0.17f, 0.0f, 2 * pi, 20);
+      strokes.push_back(loop);
+      strokes.push_back({{0.67f, 0.38f}, {0.60f, 0.60f}, {0.42f, 0.82f}});
+      break;
+    }
+    default:
+      throw util::Error("digit class must be 0-9, got " + std::to_string(digit));
+  }
+  return strokes;
+}
+
+float dist_to_segment(float px, float py, Point a, Point b) {
+  const float dx = b.x - a.x;
+  const float dy = b.y - a.y;
+  const float len2 = dx * dx + dy * dy;
+  float t = 0.0f;
+  if (len2 > 0) t = std::clamp(((px - a.x) * dx + (py - a.y) * dy) / len2, 0.0f, 1.0f);
+  const float cx = a.x + t * dx - px;
+  const float cy = a.y + t * dy - py;
+  return std::sqrt(cx * cx + cy * cy);
+}
+
+}  // namespace
+
+void render_digit(int digit, const DigitConfig& config, util::Rng& rng,
+                  float* out) {
+  DEEPPHI_CHECK_MSG(config.image_size >= 8, "image_size too small: "
+                                                << config.image_size);
+  std::vector<Polyline> strokes = digit_strokes(digit);
+
+  // Per-image affine jitter: small shift and scale wobble around the center.
+  const float sx = 1.0f + 0.12f * static_cast<float>(rng.normal());
+  const float sy = 1.0f + 0.12f * static_cast<float>(rng.normal());
+  const float tx = 0.05f * static_cast<float>(rng.normal());
+  const float ty = 0.05f * static_cast<float>(rng.normal());
+  for (auto& line : strokes) {
+    for (auto& p : line) {
+      // Control-point jitter gives each image its own "handwriting".
+      p.x += config.jitter * static_cast<float>(rng.normal());
+      p.y += config.jitter * static_cast<float>(rng.normal());
+      p.x = 0.5f + (p.x - 0.5f) * sx + tx;
+      p.y = 0.5f + (p.y - 0.5f) * sy + ty;
+    }
+  }
+
+  const Index s = config.image_size;
+  const float w = config.stroke_width;
+  for (Index r = 0; r < s; ++r) {
+    for (Index c = 0; c < s; ++c) {
+      const float px = (static_cast<float>(c) + 0.5f) / s;
+      const float py = (static_cast<float>(r) + 0.5f) / s;
+      float d = 1e9f;
+      for (const auto& line : strokes)
+        for (std::size_t i = 0; i + 1 < line.size(); ++i)
+          d = std::min(d, dist_to_segment(px, py, line[i], line[i + 1]));
+      // Soft pen profile: full ink inside the pen radius, smooth falloff
+      // over a quarter radius beyond it.
+      float v = std::clamp((w - d) / (0.25f * w) + 1.0f, 0.0f, 1.0f);
+      v += config.noise * (2.0f * rng.uniform_float() - 1.0f);
+      out[r * s + c] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+}
+
+Dataset make_digit_images(Index count, const DigitConfig& config,
+                          std::uint64_t seed, std::vector<int>* labels_out) {
+  DEEPPHI_CHECK_MSG(count >= 0, "negative count");
+  Dataset set(count, config.image_size * config.image_size);
+  util::Rng base(seed, /*stream=*/0xd19175u);
+  if (labels_out) labels_out->resize(static_cast<std::size_t>(count));
+  // Every image draws from its own substream, so rendering parallelizes
+  // without changing the output.
+#pragma omp parallel for if (count >= 64) schedule(dynamic, 16)
+  for (Index i = 0; i < count; ++i) {
+    util::Rng rng = base.split(static_cast<std::uint64_t>(i));
+    const int digit = static_cast<int>(rng.uniform_index(10));
+    if (labels_out) (*labels_out)[static_cast<std::size_t>(i)] = digit;
+    render_digit(digit, config, rng, set.example(i));
+  }
+  return set;
+}
+
+}  // namespace deepphi::data

@@ -1,0 +1,37 @@
+// Procedural handwritten-digit-like image generator — the substitution for
+// the paper's handwritten digit image corpus. Each digit class is a set of
+// stroke segments/arcs in the unit square; rendering jitters the control
+// points, rasterizes with a soft pen profile (anti-aliased distance field),
+// and adds pixel noise. The result is a dense float image in [0, 1] with the
+// bright-stroke-on-dark-background statistics the sparse-coding experiments
+// expect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi::data {
+
+struct DigitConfig {
+  Index image_size = 32;      // square canvas side in pixels
+  float stroke_width = 0.07f; // pen radius as a fraction of the canvas
+  float jitter = 0.04f;       // control-point displacement (fraction)
+  float noise = 0.02f;        // additive uniform pixel noise amplitude
+};
+
+/// Renders one image of `digit` (0–9) into `out` (image_size² floats).
+void render_digit(int digit, const DigitConfig& config, util::Rng& rng,
+                  float* out);
+
+/// `count` images of uniformly random digit classes. When `labels_out` is
+/// non-null it receives the digit class (0-9) of each image — the labeled
+/// form feeds the classification example (the "subsequent work" the paper's
+/// unsupervised features exist for).
+Dataset make_digit_images(Index count, const DigitConfig& config,
+                          std::uint64_t seed,
+                          std::vector<int>* labels_out = nullptr);
+
+}  // namespace deepphi::data

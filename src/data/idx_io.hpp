@@ -1,0 +1,40 @@
+// IDX file I/O — the format MNIST ships in — so users with the real
+// handwritten-digit corpus can feed it directly (the paper's dataset is
+// "a large [set] of handwritten digit images").
+//
+// IDX layout (big-endian):
+//   u32 magic: 0x0000080v (08 = unsigned byte data, v = rank)
+//   u32 dims[rank]
+//   payload bytes
+//
+// load_idx_images accepts rank-3 (n × rows × cols) u8 tensors and returns a
+// Dataset of n examples of dim rows·cols, scaled to [0, 1].
+// load_idx_labels accepts rank-1 u8 tensors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace deepphi::data {
+
+/// Loads an IDX3 u8 image tensor as floats in [0, 1]; throws util::Error on
+/// malformed/truncated files. `rows_out`/`cols_out` (optional) receive the
+/// image geometry.
+Dataset load_idx_images(const std::string& path, Index* rows_out = nullptr,
+                        Index* cols_out = nullptr);
+
+/// Loads an IDX1 u8 label vector.
+std::vector<int> load_idx_labels(const std::string& path);
+
+/// Writes a dataset of side×side images as an IDX3 u8 tensor (values
+/// clamped to [0,1] and scaled to 0-255). Round-trip partner for tests and
+/// for exporting synthetic corpora in MNIST-compatible form.
+void save_idx_images(const Dataset& images, Index side, const std::string& path);
+
+/// Writes labels as an IDX1 u8 vector.
+void save_idx_labels(const std::vector<int>& labels, const std::string& path);
+
+}  // namespace deepphi::data

@@ -1,0 +1,125 @@
+#include "data/natural.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace deepphi::data {
+
+namespace {
+
+// In-place separable box blur with the given radius (two passes per axis
+// approximate a Gaussian well enough for texture synthesis).
+void box_blur(std::vector<float>& img, Index s, int radius) {
+  if (radius <= 0) return;
+  std::vector<float> tmp(img.size());
+  const float inv = 1.0f / (2 * radius + 1);
+  // Horizontal.
+  for (Index r = 0; r < s; ++r) {
+    const float* row = img.data() + r * s;
+    float* out = tmp.data() + r * s;
+    float acc = 0;
+    for (int c = -radius; c <= radius; ++c)
+      acc += row[std::clamp<Index>(c, 0, s - 1)];
+    for (Index c = 0; c < s; ++c) {
+      out[c] = acc * inv;
+      const Index add = std::clamp<Index>(c + radius + 1, 0, s - 1);
+      const Index del = std::clamp<Index>(c - radius, 0, s - 1);
+      acc += row[add] - row[del];
+    }
+  }
+  // Vertical.
+  for (Index c = 0; c < s; ++c) {
+    float acc = 0;
+    for (int r = -radius; r <= radius; ++r)
+      acc += tmp[std::clamp<Index>(r, 0, s - 1) * s + c];
+    for (Index r = 0; r < s; ++r) {
+      img[r * s + c] = acc * inv;
+      const Index add = std::clamp<Index>(r + radius + 1, 0, s - 1);
+      const Index del = std::clamp<Index>(r - radius, 0, s - 1);
+      acc += tmp[add * s + c] - tmp[del * s + c];
+    }
+  }
+}
+
+}  // namespace
+
+void render_natural(const NaturalConfig& config, util::Rng& rng, float* out) {
+  const Index s = config.image_size;
+  DEEPPHI_CHECK_MSG(s >= 8, "image_size too small: " << s);
+  DEEPPHI_CHECK_MSG(config.octaves >= 1, "need at least one octave");
+  const std::size_t n = static_cast<std::size_t>(s * s);
+
+  std::vector<float> acc(n, 0.0f);
+  std::vector<float> octave(n);
+
+  // Octaves of smoothed white noise: radius doubles, amplitude halves —
+  // a discrete 1/f spectrum.
+  float amplitude = 1.0f;
+  int radius = 1;
+  for (int o = 0; o < config.octaves; ++o) {
+    for (auto& v : octave) v = 2.0f * rng.uniform_float() - 1.0f;
+    box_blur(octave, s, radius);
+    box_blur(octave, s, radius);
+    // Blur shrinks variance; renormalize the octave to unit-ish amplitude so
+    // `amplitude` alone controls the spectrum.
+    float maxabs = 1e-6f;
+    for (const auto& v : octave) maxabs = std::max(maxabs, std::fabs(v));
+    const float scale = amplitude / maxabs;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += octave[i] * scale;
+    amplitude *= 0.5f;
+    radius *= 2;
+  }
+
+  // Soft oriented edges: random half-plane with a smooth luminance step —
+  // the occlusion boundaries that give natural scenes their oriented
+  // structure.
+  for (int e = 0; e < config.edges; ++e) {
+    const float theta = static_cast<float>(rng.uniform(0.0, 2.0 * 3.14159265358979));
+    const float nx = std::cos(theta);
+    const float ny = std::sin(theta);
+    const float offset = static_cast<float>(rng.uniform(0.25, 0.75));
+    const float sharp = static_cast<float>(rng.uniform(6.0, 24.0));
+    const float sign = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+    for (Index r = 0; r < s; ++r) {
+      for (Index c = 0; c < s; ++c) {
+        const float px = (static_cast<float>(c) + 0.5f) / s;
+        const float py = (static_cast<float>(r) + 0.5f) / s;
+        const float d = nx * px + ny * py - offset;
+        acc[r * s + c] +=
+            sign * config.edge_strength * std::tanh(sharp * d);
+      }
+    }
+  }
+
+  // Normalize to mean 0.5 and a comfortable contrast inside [0, 1].
+  double mean = 0;
+  for (const auto& v : acc) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (const auto& v : acc) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  const float inv_std = var > 1e-12 ? 1.0f / (3.0f * std::sqrt(static_cast<float>(var)))
+                                    : 1.0f;
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = std::clamp(0.5f + (acc[i] - static_cast<float>(mean)) * inv_std,
+                        0.0f, 1.0f);
+}
+
+Dataset make_natural_images(Index count, const NaturalConfig& config,
+                            std::uint64_t seed) {
+  DEEPPHI_CHECK_MSG(count >= 0, "negative count");
+  Dataset set(count, config.image_size * config.image_size);
+  util::Rng base(seed, /*stream=*/0x7a7c4a1u);
+  // Per-image substreams: parallel rendering is output-identical.
+#pragma omp parallel for if (count >= 32) schedule(dynamic, 8)
+  for (Index i = 0; i < count; ++i) {
+    util::Rng rng = base.split(static_cast<std::uint64_t>(i));
+    render_natural(config, rng, set.example(i));
+  }
+  return set;
+}
+
+}  // namespace deepphi::data

@@ -1,0 +1,32 @@
+// Natural-image proxy generator — the substitution for the paper's natural
+// image corpus (Olshausen-style whitened scenes). Real natural images have a
+// ~1/f amplitude spectrum plus oriented structure; we synthesize that with
+// (a) multi-scale smoothed noise (octaves of box-blurred white noise, each
+// octave at half amplitude) and (b) a few soft oriented edges per image.
+// Patches cut from these images give sparse-coding-friendly statistics:
+// local correlations, oriented gradients, heavy-tailed derivative
+// distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi::data {
+
+struct NaturalConfig {
+  Index image_size = 64;  // square canvas side in pixels
+  int octaves = 4;        // noise octaves (each blurred 2x more, half amp)
+  int edges = 3;          // soft oriented edges per image
+  float edge_strength = 0.5f;
+};
+
+/// Renders one image into `out` (image_size² floats, mean ≈ 0.5, in [0,1]).
+void render_natural(const NaturalConfig& config, util::Rng& rng, float* out);
+
+/// `count` synthetic natural images.
+Dataset make_natural_images(Index count, const NaturalConfig& config,
+                            std::uint64_t seed);
+
+}  // namespace deepphi::data

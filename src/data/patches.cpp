@@ -1,0 +1,105 @@
+#include "data/patches.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/digits.hpp"
+#include "data/natural.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi::data {
+
+namespace {
+
+void normalize_patches(Dataset& patches, const PatchConfig& config) {
+  if (config.norm == PatchNorm::kNone) return;
+  const Index n = patches.size();
+  const Index d = patches.dim();
+
+  // Per-patch mean removal.
+  for (Index i = 0; i < n; ++i) {
+    float* p = patches.example(i);
+    double mean = 0;
+    for (Index j = 0; j < d; ++j) mean += p[j];
+    mean /= static_cast<double>(d);
+    for (Index j = 0; j < d; ++j) p[j] -= static_cast<float>(mean);
+  }
+  if (config.norm == PatchNorm::kZeroMean) return;
+
+  // Global std over the whole set, truncation, and [0.1, 0.9] mapping.
+  double var = 0;
+  for (Index i = 0; i < n; ++i) {
+    const float* p = patches.example(i);
+    for (Index j = 0; j < d; ++j) var += static_cast<double>(p[j]) * p[j];
+  }
+  var /= std::max<Index>(1, n * d);
+  const float bound = config.trunc_sigma * static_cast<float>(std::sqrt(var));
+  if (bound <= 0) return;
+  for (Index i = 0; i < n; ++i) {
+    float* p = patches.example(i);
+    for (Index j = 0; j < d; ++j) {
+      const float t = std::clamp(p[j], -bound, bound) / bound;  // [-1, 1]
+      p[j] = 0.5f + 0.4f * t;                                   // [0.1, 0.9]
+    }
+  }
+}
+
+}  // namespace
+
+Dataset extract_patches(const Dataset& images, Index image_size, Index count,
+                        const PatchConfig& config, std::uint64_t seed) {
+  DEEPPHI_CHECK_MSG(!images.empty(), "no images to extract patches from");
+  DEEPPHI_CHECK_MSG(images.dim() == image_size * image_size,
+                    "image dim " << images.dim() << " != " << image_size << "^2");
+  DEEPPHI_CHECK_MSG(config.patch_size >= 1 && config.patch_size <= image_size,
+                    "patch_size " << config.patch_size << " out of [1, "
+                                  << image_size << "]");
+  const Index p = config.patch_size;
+  Dataset patches(count, p * p);
+  util::Rng rng(seed, /*stream=*/0x9a7c4e5u);
+  const Index max_off = image_size - p;
+  for (Index i = 0; i < count; ++i) {
+    const Index img =
+        static_cast<Index>(rng.uniform_index(static_cast<std::uint64_t>(images.size())));
+    const Index r0 = max_off == 0
+                         ? 0
+                         : static_cast<Index>(rng.uniform_index(
+                               static_cast<std::uint64_t>(max_off + 1)));
+    const Index c0 = max_off == 0
+                         ? 0
+                         : static_cast<Index>(rng.uniform_index(
+                               static_cast<std::uint64_t>(max_off + 1)));
+    const float* src = images.example(img);
+    float* dst = patches.example(i);
+    for (Index r = 0; r < p; ++r)
+      for (Index c = 0; c < p; ++c)
+        dst[r * p + c] = src[(r0 + r) * image_size + (c0 + c)];
+  }
+  normalize_patches(patches, config);
+  return patches;
+}
+
+Dataset make_digit_patch_dataset(Index count, Index patch_size,
+                                 std::uint64_t seed) {
+  DigitConfig dc;
+  // Enough distinct source images that patches don't repeat; patches per
+  // image grows with the requested count but is capped to bound memory.
+  const Index images = std::clamp<Index>(count / 16, 64, 4096);
+  Dataset imgs = make_digit_images(images, dc, seed);
+  PatchConfig pc;
+  pc.patch_size = patch_size;
+  return extract_patches(imgs, dc.image_size, count, pc, seed ^ 0x5eedULL);
+}
+
+Dataset make_natural_patch_dataset(Index count, Index patch_size,
+                                   std::uint64_t seed) {
+  NaturalConfig nc;
+  const Index images = std::clamp<Index>(count / 32, 32, 2048);
+  Dataset imgs = make_natural_images(images, nc, seed);
+  PatchConfig pc;
+  pc.patch_size = patch_size;
+  return extract_patches(imgs, nc.image_size, count, pc, seed ^ 0x5eedULL);
+}
+
+}  // namespace deepphi::data

@@ -1,0 +1,40 @@
+// Random patch extraction + normalization — the paper's "we obtain the
+// training examples by randomly extracting patches of required sizes from
+// these images". Normalization follows the standard sparse-autoencoder
+// recipe: remove the patch mean, truncate to ±k standard deviations
+// (computed over the whole patch set), and squash into [0.1, 0.9] so sigmoid
+// reconstructions can represent every value.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace deepphi::data {
+
+enum class PatchNorm {
+  kNone,       // raw pixel values
+  kZeroMean,   // per-patch mean removal only
+  kUnitRange,  // mean removal + truncate + map to [0.1, 0.9] (default)
+};
+
+struct PatchConfig {
+  Index patch_size = 8;  // square patch side; dim = patch_size²
+  PatchNorm norm = PatchNorm::kUnitRange;
+  float trunc_sigma = 3.0f;  // truncation for kUnitRange
+};
+
+/// Extracts `count` patches at uniformly random positions from uniformly
+/// random images of `images` (each row an image_size×image_size image).
+Dataset extract_patches(const Dataset& images, Index image_size, Index count,
+                        const PatchConfig& config, std::uint64_t seed);
+
+/// Convenience: patches of digit-like images, ready for training.
+Dataset make_digit_patch_dataset(Index count, Index patch_size,
+                                 std::uint64_t seed);
+
+/// Convenience: patches of natural-image proxies, ready for training.
+Dataset make_natural_patch_dataset(Index count, Index patch_size,
+                                   std::uint64_t seed);
+
+}  // namespace deepphi::data

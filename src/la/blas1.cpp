@@ -1,0 +1,85 @@
+#include "la/blas1.hpp"
+
+#include <cmath>
+
+#include "phi/kernel_stats.hpp"
+
+namespace deepphi::la {
+
+namespace {
+// Below this element count the OpenMP fork/join costs more than it saves.
+constexpr Index kParallelThreshold = 1 << 15;
+
+void axpy_raw(float alpha, const float* x, float* y, Index n) {
+#pragma omp parallel for simd if (n >= kParallelThreshold) schedule(static)
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal_raw(float alpha, float* x, Index n) {
+#pragma omp parallel for simd if (n >= kParallelThreshold) schedule(static)
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double dot_raw(const float* x, const float* y, Index n) {
+  double acc = 0.0;
+#pragma omp parallel for if (n >= kParallelThreshold) schedule(static) reduction(+ : acc)
+  for (Index i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc;
+}
+}  // namespace
+
+void axpy(float alpha, const Vector& x, Vector& y) {
+  DEEPPHI_CHECK_MSG(x.size() == y.size(), "axpy size mismatch");
+  phi::record(phi::loop_contribution(x.size(), 2.0, 2.0, 1.0));
+  axpy_raw(alpha, x.data(), y.data(), x.size());
+}
+
+void axpy(float alpha, const Matrix& a, Matrix& b) {
+  DEEPPHI_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(), "axpy shape mismatch");
+  phi::record(phi::loop_contribution(a.size(), 2.0, 2.0, 1.0));
+  axpy_raw(alpha, a.data(), b.data(), a.size());
+}
+
+void scal(float alpha, Vector& x) {
+  phi::record(phi::loop_contribution(x.size(), 1.0, 1.0, 1.0));
+  scal_raw(alpha, x.data(), x.size());
+}
+
+void scal(float alpha, Matrix& a) {
+  phi::record(phi::loop_contribution(a.size(), 1.0, 1.0, 1.0));
+  scal_raw(alpha, a.data(), a.size());
+}
+
+double dot(const Vector& x, const Vector& y) {
+  DEEPPHI_CHECK_MSG(x.size() == y.size(), "dot size mismatch");
+  phi::record(phi::loop_contribution(x.size(), 2.0, 2.0, 0.0));
+  return dot_raw(x.data(), y.data(), x.size());
+}
+
+double dot(const Matrix& a, const Matrix& b) {
+  DEEPPHI_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(), "dot shape mismatch");
+  phi::record(phi::loop_contribution(a.size(), 2.0, 2.0, 0.0));
+  return dot_raw(a.data(), b.data(), a.size());
+}
+
+double nrm2sq(const Vector& x) {
+  phi::record(phi::loop_contribution(x.size(), 2.0, 1.0, 0.0));
+  return dot_raw(x.data(), x.data(), x.size());
+}
+
+double nrm2sq(const Matrix& a) {
+  phi::record(phi::loop_contribution(a.size(), 2.0, 1.0, 0.0));
+  return dot_raw(a.data(), a.data(), a.size());
+}
+
+double asum(const Vector& x) {
+  phi::record(phi::loop_contribution(x.size(), 1.0, 1.0, 0.0));
+  double acc = 0.0;
+  const float* p = x.data();
+  const Index n = x.size();
+#pragma omp parallel for if (n >= kParallelThreshold) schedule(static) reduction(+ : acc)
+  for (Index i = 0; i < n; ++i) acc += std::fabs(static_cast<double>(p[i]));
+  return acc;
+}
+
+}  // namespace deepphi::la

@@ -1,0 +1,32 @@
+// BLAS-1-class kernels: vector/matrix-flat elementwise linear operations.
+// All kernels are OpenMP-parallel for large inputs, vectorizable, and record
+// their KernelStats contribution once per call.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace deepphi::la {
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, const Vector& x, Vector& y);
+/// B += alpha * A (shapes must match). The parameter-update kernel
+/// (paper eqs. 16–18) in matrix form.
+void axpy(float alpha, const Matrix& a, Matrix& b);
+
+/// x *= alpha.
+void scal(float alpha, Vector& x);
+void scal(float alpha, Matrix& a);
+
+/// Dot product (double accumulator for stability).
+double dot(const Vector& x, const Vector& y);
+/// Frobenius inner product of two matrices.
+double dot(const Matrix& a, const Matrix& b);
+
+/// Sum of squares (‖x‖²).
+double nrm2sq(const Vector& x);
+double nrm2sq(const Matrix& a);
+
+/// Sum of absolute values.
+double asum(const Vector& x);
+
+}  // namespace deepphi::la

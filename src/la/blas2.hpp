@@ -1,0 +1,19 @@
+// BLAS-2-class kernels: matrix-vector product and rank-1 update. Used by the
+// single-example (online SGD) paths and by the batch optimizers' direction
+// algebra.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace deepphi::la {
+
+/// y = alpha * A·x + beta * y, A is rows×cols, x has cols, y has rows.
+void gemv(float alpha, const Matrix& a, const Vector& x, float beta, Vector& y);
+
+/// y = alpha * Aᵀ·x + beta * y, A is rows×cols, x has rows, y has cols.
+void gemv_t(float alpha, const Matrix& a, const Vector& x, float beta, Vector& y);
+
+/// A += alpha * x·yᵀ, A is rows×cols, x has rows, y has cols.
+void ger(float alpha, const Vector& x, const Vector& y, Matrix& a);
+
+}  // namespace deepphi::la

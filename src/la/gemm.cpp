@@ -1,0 +1,165 @@
+#include "la/gemm.hpp"
+
+#include <algorithm>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "phi/kernel_stats.hpp"
+#include "util/aligned.hpp"
+
+namespace deepphi::la {
+
+namespace {
+
+constexpr Index MR = 4;
+constexpr Index NR = 16;
+
+// op(M)(i, j) under the trans flag. Only used in packing; the micro-kernel
+// reads packed panels.
+inline float op_elem(const Matrix& m, Trans t, Index i, Index j) {
+  return t == Trans::kNo ? m(i, j) : m(j, i);
+}
+
+// Packs the mc×kc block of op(A) starting at (ic, pc) into MR-row panels:
+// panel p holds rows [p·MR, p·MR+MR) stored k-major, zero-padded past mc.
+void pack_a(const Matrix& a, Trans ta, Index ic, Index pc, Index mc, Index kc,
+            float* buf) {
+  const Index panels = (mc + MR - 1) / MR;
+  for (Index p = 0; p < panels; ++p) {
+    const Index i0 = p * MR;
+    float* dst = buf + p * kc * MR;
+    for (Index kk = 0; kk < kc; ++kk) {
+      for (Index i = 0; i < MR; ++i) {
+        const Index ii = i0 + i;
+        dst[kk * MR + i] =
+            ii < mc ? op_elem(a, ta, ic + ii, pc + kk) : 0.0f;
+      }
+    }
+  }
+}
+
+// Packs the kc×nc block of op(B) starting at (pc, jc) into NR-column panels:
+// panel p holds columns [p·NR, p·NR+NR) stored k-major, zero-padded past nc.
+void pack_b(const Matrix& b, Trans tb, Index pc, Index jc, Index kc, Index nc,
+            float* buf) {
+  const Index panels = (nc + NR - 1) / NR;
+  for (Index p = 0; p < panels; ++p) {
+    const Index j0 = p * NR;
+    float* dst = buf + p * kc * NR;
+    for (Index kk = 0; kk < kc; ++kk) {
+      for (Index j = 0; j < NR; ++j) {
+        const Index jj = j0 + j;
+        dst[kk * NR + j] =
+            jj < nc ? op_elem(b, tb, pc + kk, jc + jj) : 0.0f;
+      }
+    }
+  }
+}
+
+// C[r0 : r0+mr_eff, c0 : c0+nr_eff] += alpha · (A panel · B panel).
+// Panels are zero-padded so the accumulation loop is always full MR×NR;
+// clipping happens only at write-back.
+void micro_kernel(const float* ap, const float* bp, Index kc, float alpha,
+                  Matrix& c, Index r0, Index c0, Index mr_eff, Index nr_eff) {
+  float acc[MR][NR] = {};
+  for (Index kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * MR;
+    const float* brow = bp + kk * NR;
+    for (Index i = 0; i < MR; ++i) {
+      const float av = arow[i];
+#pragma omp simd
+      for (Index j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (Index i = 0; i < mr_eff; ++i) {
+    float* crow = c.row(r0 + i) + c0;
+    for (Index j = 0; j < nr_eff; ++j) crow[j] += alpha * acc[i][j];
+  }
+}
+
+// Serial blocked GEMM over the C row slice [row_begin, row_end). `a_buf` and
+// `b_buf` are caller-provided packing buffers sized for the blocking.
+void gemm_slice(Trans ta, Trans tb, float alpha, const Matrix& a,
+                const Matrix& b, Matrix& c, Index row_begin, Index row_end,
+                Index k, const GemmBlocking& bl, float* a_buf, float* b_buf) {
+  const Index m = row_end - row_begin;
+  const Index n = c.cols();
+  for (Index jc = 0; jc < n; jc += bl.nc) {
+    const Index nc_eff = std::min(bl.nc, n - jc);
+    for (Index pc = 0; pc < k; pc += bl.kc) {
+      const Index kc_eff = std::min(bl.kc, k - pc);
+      pack_b(b, tb, pc, jc, kc_eff, nc_eff, b_buf);
+      for (Index ic = 0; ic < m; ic += bl.mc) {
+        const Index mc_eff = std::min(bl.mc, m - ic);
+        pack_a(a, ta, row_begin + ic, pc, mc_eff, kc_eff, a_buf);
+        for (Index jr = 0; jr < nc_eff; jr += NR) {
+          const float* bp = b_buf + (jr / NR) * kc_eff * NR;
+          for (Index ir = 0; ir < mc_eff; ir += MR) {
+            const float* ap = a_buf + (ir / MR) * kc_eff * MR;
+            micro_kernel(ap, bp, kc_eff, alpha, c, row_begin + ic + ir, jc + jr,
+                         std::min(MR, mc_eff - ir), std::min(NR, nc_eff - jr));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+                  const Matrix& b, float beta, Matrix& c,
+                  const GemmBlocking& bl) {
+  const Index m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const Index ka = trans_a == Trans::kNo ? a.cols() : a.rows();
+  const Index kb = trans_b == Trans::kNo ? b.rows() : b.cols();
+  const Index n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  DEEPPHI_CHECK_MSG(ka == kb, "gemm inner dims: op(A) is " << m << "x" << ka
+                                                           << ", op(B) is " << kb
+                                                           << "x" << n);
+  DEEPPHI_CHECK_MSG(c.rows() == m && c.cols() == n,
+                    "gemm C must be " << m << "x" << n << ", got " << c.rows()
+                                      << "x" << c.cols());
+  DEEPPHI_CHECK_MSG(bl.mc > 0 && bl.kc > 0 && bl.nc > 0, "non-positive blocking");
+  phi::record(phi::gemm_contribution(m, n, ka));
+  if (m == 0 || n == 0) return;
+
+  // Apply beta up front so every pc panel can simply accumulate.
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    float* p = c.data();
+    for (Index i = 0; i < c.size(); ++i) p[i] *= beta;
+  }
+  if (ka == 0 || alpha == 0.0f) return;
+
+  const Index a_buf_elems = (bl.mc + MR - 1) / MR * MR * bl.kc;
+  const Index b_buf_elems = (bl.nc + NR - 1) / NR * NR * bl.kc;
+
+#pragma omp parallel
+  {
+    int nthreads = 1, tid = 0;
+#ifdef _OPENMP
+    nthreads = omp_get_num_threads();
+    tid = omp_get_thread_num();
+#endif
+    const Index chunk = (m + nthreads - 1) / nthreads;
+    const Index row_begin = std::min<Index>(static_cast<Index>(tid) * chunk, m);
+    const Index row_end = std::min<Index>(row_begin + chunk, m);
+    if (row_begin < row_end) {
+      auto a_buf = util::make_aligned<float>(static_cast<std::size_t>(a_buf_elems));
+      auto b_buf = util::make_aligned<float>(static_cast<std::size_t>(b_buf_elems));
+      gemm_slice(trans_a, trans_b, alpha, a, b, c, row_begin, row_end, ka, bl,
+                 a_buf.get(), b_buf.get());
+    }
+  }
+}
+
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c) {
+  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c, GemmBlocking{});
+}
+
+}  // namespace deepphi::la

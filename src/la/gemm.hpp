@@ -1,0 +1,54 @@
+// Optimized single-precision GEMM — the repository's stand-in for the Intel
+// MKL sgemm the paper leans on. Goto-style blocked algorithm: B and A panels
+// are packed into contiguous, zero-padded buffers; a register-tiled MR×NR
+// micro-kernel runs over full panels only (fringes are handled by padding on
+// pack and clipping on write-back). Threads split the M dimension, each
+// running the serial blocked kernel on its row slice, so results are
+// bit-identical for any thread count — the parity tests depend on that.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace deepphi::la {
+
+enum class Trans { kNo, kYes };
+
+/// C = alpha · op(A) · op(B) + beta · C.
+/// op(A) is m×k, op(B) is k×n, C is m×n; shapes are validated.
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c);
+
+/// C = alpha · A·B + beta · C.
+inline void gemm_nn(float alpha, const Matrix& a, const Matrix& b, float beta,
+                    Matrix& c) {
+  gemm(Trans::kNo, Trans::kNo, alpha, a, b, beta, c);
+}
+
+/// C = alpha · A·Bᵀ + beta · C. (Forward pass: activations × weightsᵀ.)
+inline void gemm_nt(float alpha, const Matrix& a, const Matrix& b, float beta,
+                    Matrix& c) {
+  gemm(Trans::kNo, Trans::kYes, alpha, a, b, beta, c);
+}
+
+/// C = alpha · Aᵀ·B + beta · C. (Gradients: deltasᵀ × activations.)
+inline void gemm_tn(float alpha, const Matrix& a, const Matrix& b, float beta,
+                    Matrix& c) {
+  gemm(Trans::kYes, Trans::kNo, alpha, a, b, beta, c);
+}
+
+/// Cache-blocking parameters, exposed for tests and the granularity
+/// ablation. The register micro-tile is fixed at 4×16 (one 64-byte cache
+/// line of floats per accumulator row).
+struct GemmBlocking {
+  Index mc = 128;   // rows of A packed at once
+  Index kc = 256;   // shared dimension panel
+  Index nc = 1024;  // cols of B packed at once
+};
+
+/// GEMM with explicit blocking (tests sweep this; the default entry uses
+/// GemmBlocking{}).
+void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+                  const Matrix& b, float beta, Matrix& c,
+                  const GemmBlocking& blocking);
+
+}  // namespace deepphi::la

@@ -1,0 +1,14 @@
+// Cache-blocked matrix transpose.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace deepphi::la {
+
+/// out = inᵀ. `out` must already be cols×rows of `in`.
+void transpose(const Matrix& in, Matrix& out);
+
+/// Returns inᵀ as a fresh matrix.
+Matrix transposed(const Matrix& in);
+
+}  // namespace deepphi::la

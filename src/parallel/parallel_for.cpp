@@ -1,0 +1,71 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace deepphi::par {
+
+void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                         std::int64_t grain,
+                         const std::function<void(std::int64_t, std::int64_t)>& body,
+                         Schedule schedule) {
+  DEEPPHI_CHECK_MSG(grain >= 1, "grain must be >= 1, got " << grain);
+  DEEPPHI_CHECK(body != nullptr);
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto guarded = [&](std::int64_t b, std::int64_t e) {
+    try {
+      body(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  if (schedule == Schedule::kStatic) {
+    const std::int64_t workers = std::max<std::int64_t>(1, pool.size());
+    const std::int64_t chunk = std::max(grain, (n + workers - 1) / workers);
+    for (std::int64_t b = begin; b < end; b += chunk) {
+      const std::int64_t e = std::min(b + chunk, end);
+      futures.push_back(pool.submit([&, b, e] { guarded(b, e); }));
+    }
+  } else {
+    // Dynamic: one task per worker, each draining grain-sized blocks from a
+    // shared cursor (fewer queue operations than one task per block).
+    auto cursor = std::make_shared<std::atomic<std::int64_t>>(begin);
+    const std::int64_t workers = std::max<std::int64_t>(1, pool.size());
+    for (std::int64_t w = 0; w < workers; ++w) {
+      futures.push_back(pool.submit([&, cursor] {
+        for (;;) {
+          const std::int64_t b = cursor->fetch_add(grain);
+          if (b >= end) return;
+          guarded(b, std::min(b + grain, end));
+        }
+      }));
+    }
+  }
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body,
+                  Schedule schedule, std::int64_t grain) {
+  DEEPPHI_CHECK(body != nullptr);
+  parallel_for_chunks(
+      pool, begin, end, grain,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) body(i);
+      },
+      schedule);
+}
+
+}  // namespace deepphi::par

@@ -1,0 +1,41 @@
+// Range parallelism over the ThreadPool — the task-parallel complement to
+// the OpenMP data-parallel loops inside the kernels. Used when work items
+// are coarse and heterogeneous (per-chunk preprocessing, per-layer jobs)
+// where OpenMP's fork/join would fight the pool's scheduling.
+//
+//   par::parallel_for(pool, 0, n, [&](Index i) { work(i); });
+//   par::parallel_for_chunks(pool, 0, n, grain,
+//                            [&](Index b, Index e) { work_range(b, e); });
+//
+// Must be called from OUTSIDE the pool's own workers (a worker blocking on
+// its own pool's futures can deadlock).
+//
+// kStatic splits [begin, end) into one contiguous slice per worker (cheap,
+// deterministic assignment); kDynamic hands out `grain`-sized blocks from an
+// atomic cursor (load balancing for ragged work). Exceptions from any
+// invocation propagate to the caller (first one wins).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "parallel/thread_pool.hpp"
+
+namespace deepphi::par {
+
+enum class Schedule { kStatic, kDynamic };
+
+/// Invokes body(b, e) over disjoint sub-ranges covering [begin, end).
+void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                         std::int64_t grain,
+                         const std::function<void(std::int64_t, std::int64_t)>& body,
+                         Schedule schedule = Schedule::kDynamic);
+
+/// Invokes body(i) for each i in [begin, end).
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body,
+                  Schedule schedule = Schedule::kDynamic,
+                  std::int64_t grain = 1);
+
+}  // namespace deepphi::par

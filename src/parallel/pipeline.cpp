@@ -1,0 +1,12 @@
+// BoundedQueue and ChunkPipeline are header-only templates (pipeline.hpp);
+// this translation unit exists to give the module a home for future
+// non-template helpers and to surface template compile errors early.
+#include "parallel/pipeline.hpp"
+
+namespace deepphi::par {
+
+// Explicit instantiation of the common payload type (a loaded data chunk is
+// an owning pointer in the offload engine).
+template class BoundedQueue<int>;
+
+}  // namespace deepphi::par

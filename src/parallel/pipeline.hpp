@@ -1,0 +1,116 @@
+// Bounded producer/consumer machinery behind the paper's Fig. 5 design: "we
+// use a thread to load the data chunk from the host to the Intel Xeon Phi so
+// that our algorithm does not need to wait for loading new data".
+//
+// BoundedQueue<T> is a blocking MPMC ring of depth `capacity` (the paper's
+// "loading buffer ... several times as [large as] a data chunk").
+// ChunkPipeline runs a producer function on a dedicated loading thread and
+// lets the training loop pop chunks; when the producer is exhausted, pop()
+// drains the queue and then returns nullopt.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace deepphi::par {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    DEEPPHI_CHECK_MSG(capacity > 0, "BoundedQueue capacity must be positive");
+  }
+
+  /// Blocks while full. Returns false if the queue was closed before the
+  /// item could be enqueued.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once the queue is closed *and*
+  /// drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No more pushes will succeed; pending pops drain the remaining items.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// Runs `produce` on a dedicated loading thread. `produce` is called
+/// repeatedly; each non-nullopt result is enqueued, the first nullopt ends
+/// production. Consumers call pop() until it returns nullopt.
+template <typename T>
+class ChunkPipeline {
+ public:
+  ChunkPipeline(std::size_t buffer_chunks,
+                std::function<std::optional<T>()> produce)
+      : queue_(buffer_chunks) {
+    DEEPPHI_CHECK(produce != nullptr);
+    loader_ = std::thread([this, produce = std::move(produce)]() mutable {
+      for (;;) {
+        std::optional<T> item = produce();
+        if (!item.has_value()) break;
+        if (!queue_.push(std::move(*item))) break;  // consumer aborted
+      }
+      queue_.close();
+    });
+  }
+
+  ~ChunkPipeline() {
+    queue_.close();
+    if (loader_.joinable()) loader_.join();
+  }
+
+  ChunkPipeline(const ChunkPipeline&) = delete;
+  ChunkPipeline& operator=(const ChunkPipeline&) = delete;
+
+  /// Next chunk, or nullopt when production finished and the buffer drained.
+  std::optional<T> pop() { return queue_.pop(); }
+
+  /// Chunks currently buffered ahead of the consumer.
+  std::size_t buffered() const { return queue_.size(); }
+
+ private:
+  BoundedQueue<T> queue_;
+  std::thread loader_;
+};
+
+}  // namespace deepphi::par

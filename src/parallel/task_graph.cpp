@@ -1,0 +1,162 @@
+#include "parallel/task_graph.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace deepphi::par {
+
+TaskGraph::NodeId TaskGraph::add(std::string name, std::function<void()> fn) {
+  DEEPPHI_CHECK(fn != nullptr);
+  nodes_.push_back(Node{std::move(name), std::move(fn), {}, 0});
+  return nodes_.size() - 1;
+}
+
+void TaskGraph::depends(NodeId node, NodeId dependency) {
+  check_node(node);
+  check_node(dependency);
+  DEEPPHI_CHECK_MSG(node != dependency, "self-dependency on node '"
+                                            << nodes_[node].name << "'");
+  nodes_[dependency].dependents.push_back(node);
+  nodes_[node].in_degree += 1;
+}
+
+void TaskGraph::check_node(NodeId id) const {
+  DEEPPHI_CHECK_MSG(id < nodes_.size(), "node id " << id << " out of range");
+}
+
+std::vector<TaskGraph::NodeId> TaskGraph::topological_order() const {
+  std::vector<int> degree(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) degree[i] = nodes_[i].in_degree;
+  std::deque<NodeId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (degree[i] == 0) ready.push_back(i);
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (NodeId d : nodes_[id].dependents)
+      if (--degree[d] == 0) ready.push_back(d);
+  }
+  DEEPPHI_CHECK_MSG(order.size() == nodes_.size(),
+                    "task graph has a dependency cycle ("
+                        << order.size() << " of " << nodes_.size()
+                        << " nodes orderable)");
+  return order;
+}
+
+std::vector<std::size_t> TaskGraph::levels() const {
+  const auto order = topological_order();
+  std::vector<std::size_t> level(nodes_.size(), 0);
+  for (NodeId id : order)
+    for (NodeId d : nodes_[id].dependents)
+      level[d] = std::max(level[d], level[id] + 1);
+  return level;
+}
+
+std::size_t TaskGraph::critical_path_length() const {
+  const auto order = topological_order();
+  std::vector<std::size_t> depth(nodes_.size(), 1);
+  std::size_t longest = nodes_.empty() ? 0 : 1;
+  for (NodeId id : order) {
+    for (NodeId d : nodes_[id].dependents) {
+      depth[d] = std::max(depth[d], depth[id] + 1);
+      longest = std::max(longest, depth[d]);
+    }
+  }
+  return longest;
+}
+
+void TaskGraph::run_sequential() {
+  finish_order_ = topological_order();
+  last_max_concurrency_ = nodes_.empty() ? 0 : 1;
+  for (NodeId id : finish_order_) nodes_[id].fn();
+}
+
+void TaskGraph::run(ThreadPool& pool) {
+  // Validate up front so a cyclic graph fails before any node runs.
+  (void)topological_order();
+
+  struct RunState {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<int> degree;
+    std::vector<TaskGraph::NodeId> finish_order;
+    std::exception_ptr first_error;
+    int in_flight = 0;
+    int max_concurrency = 0;
+    std::size_t finished = 0;
+  };
+  RunState state;
+  state.degree.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    state.degree[i] = nodes_[i].in_degree;
+  state.finish_order.reserve(nodes_.size());
+
+  // Recursive-ish scheduling: when a node completes it enqueues newly ready
+  // dependents. std::function requires the lambda be copyable, so schedule is
+  // defined as a plain function object over shared state.
+  std::function<void(NodeId)> schedule = [&](NodeId id) {
+    pool.submit([this, id, &state, &schedule] {
+      bool skip;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        ++state.in_flight;
+        state.max_concurrency = std::max(state.max_concurrency, state.in_flight);
+        skip = state.first_error != nullptr;
+      }
+      std::exception_ptr error;
+      try {
+        if (!skip) nodes_[id].fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::vector<NodeId> ready;
+      {
+        // The completion notification happens while the lock is held: once
+        // run() observes finished == n it may destroy `state`, so the last
+        // worker must not touch state after releasing this lock.
+        std::lock_guard<std::mutex> lock(state.mutex);
+        --state.in_flight;
+        ++state.finished;
+        state.finish_order.push_back(id);
+        if (error && !state.first_error) state.first_error = error;
+        for (NodeId d : nodes_[id].dependents)
+          if (--state.degree[d] == 0) ready.push_back(d);
+        if (state.finished == nodes_.size()) state.done_cv.notify_all();
+      }
+      // `ready` is empty whenever this was the final node, so `state` and
+      // `schedule` are only touched while run() is still waiting.
+      for (NodeId d : ready) schedule(d);
+    });
+  };
+
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].in_degree == 0) {
+      ++roots;
+      schedule(i);
+    }
+  }
+  if (roots == 0 && !nodes_.empty())
+    throw util::Error("task graph has nodes but no roots");
+
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock, [&] { return state.finished == nodes_.size(); });
+  }
+  finish_order_ = state.finish_order;
+  last_max_concurrency_ = state.max_concurrency;
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+std::vector<TaskGraph::NodeId> TaskGraph::last_finish_order() const {
+  return finish_order_;
+}
+
+}  // namespace deepphi::par

@@ -1,0 +1,81 @@
+// DAG task executor — the mechanism behind paper Fig. 6: "some matrix
+// operations can also be calculated concurrently based on the sequence of
+// the computations". A TaskGraph holds named nodes and dependency edges; run()
+// executes every node exactly once, starting a node as soon as all of its
+// predecessors finished, with independent nodes running concurrently on a
+// ThreadPool.
+//
+// The graph is reusable: run() may be called repeatedly (one RBM gradient
+// step per call), which is why node state is reset on every run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace deepphi::par {
+
+class TaskGraph {
+ public:
+  using NodeId = std::size_t;
+
+  /// Adds a node; `fn` runs when all dependencies have completed.
+  NodeId add(std::string name, std::function<void()> fn);
+
+  /// Declares that `node` must run after `dependency`.
+  void depends(NodeId node, NodeId dependency);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& name(NodeId id) const { return nodes_[id].name; }
+
+  /// Validates acyclicity (throws util::Error on a cycle) and executes the
+  /// graph on `pool`. Rethrows the first node exception after the graph
+  /// drains. Thread-safe against concurrent run() calls is NOT provided —
+  /// one runner at a time.
+  void run(ThreadPool& pool);
+
+  /// Executes the graph on the calling thread in a valid topological order —
+  /// the sequential reference used by parity tests and the Baseline level.
+  void run_sequential();
+
+  /// Completion order of the last run (node ids in finish order).
+  std::vector<NodeId> last_finish_order() const;
+
+  /// Highest number of nodes observed in flight simultaneously during the
+  /// last run(pool) — lets tests assert that independent nodes really did
+  /// overlap.
+  int last_max_concurrency() const { return last_max_concurrency_; }
+
+  /// A topological order (throws on cycle). Exposed for tests and for the
+  /// cost model's critical-path analysis.
+  std::vector<NodeId> topological_order() const;
+
+  /// Length (in nodes) of the longest dependency chain — the critical path.
+  std::size_t critical_path_length() const;
+
+  /// Dependency depth of every node (roots = 0, otherwise 1 + max over
+  /// dependencies). Nodes that share a level are independent and may run
+  /// concurrently — the quantity the Fig. 6 ablation's overlap model uses.
+  std::vector<std::size_t> levels() const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::function<void()> fn;
+    std::vector<NodeId> dependents;
+    int in_degree = 0;
+  };
+
+  void check_node(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  // Last-run bookkeeping (not touched between runs).
+  std::vector<NodeId> finish_order_;
+  int last_max_concurrency_ = 0;
+};
+
+}  // namespace deepphi::par

@@ -1,0 +1,70 @@
+#include "parallel/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace deepphi::par {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  DEEPPHI_CHECK(fn != nullptr);
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DEEPPHI_CHECK_MSG(!stop_, "submit on a stopped ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+  return fut;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();  // packaged_task captures exceptions into the future
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      ++executed_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace deepphi::par

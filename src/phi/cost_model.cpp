@@ -1,0 +1,104 @@
+#include "phi/cost_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace deepphi::phi {
+
+std::string CostBreakdown::to_string() const {
+  std::ostringstream os;
+  os << "gemm=" << gemm_s << "s loop=" << loop_s << "s naive=" << naive_s
+     << "s sync=" << sync_s << "s transfer=" << transfer_s
+     << "s | serialized=" << total_serialized_s()
+     << "s overlapped=" << total_overlapped_s() << "s";
+  return os.str();
+}
+
+CostModel::CostModel(MachineSpec spec) : spec_(std::move(spec)) {
+  DEEPPHI_CHECK_MSG(spec_.cores >= 1 && spec_.threads_per_core >= 1,
+                    "machine '" << spec_.name << "' has no cores");
+}
+
+double CostModel::gemm_rate_gflops(int threads) const {
+  return spec_.vector_peak_gflops(threads) * spec_.gemm_efficiency *
+         spec_.parallel_efficiency(threads);
+}
+
+double CostModel::loop_rate_gflops(int threads) const {
+  return spec_.vector_peak_gflops(threads) * spec_.loop_efficiency *
+         spec_.parallel_efficiency(threads);
+}
+
+double CostModel::naive_rate_gflops(int threads) const {
+  // Scalar code scales with the same core-equivalents as vector code: the
+  // in-order pipeline is shared by a core's threads. scalar_flops_per_cycle
+  // is per filled core.
+  return spec_.effective_cores(threads) * spec_.freq_ghz *
+         spec_.scalar_flops_per_cycle * spec_.parallel_efficiency(threads);
+}
+
+double CostModel::achieved_mem_gb_s() const {
+  return spec_.mem_bw_gb_s * spec_.mem_efficiency;
+}
+
+double CostModel::sync_time_s(const KernelStats& stats, int threads) const {
+  const int t = std::min(threads, spec_.max_threads());
+  const double fork_join_us =
+      spec_.fork_join_us_base + spec_.fork_join_us_per_thread * t;
+  const double barrier_us =
+      spec_.barrier_us_base + spec_.barrier_us_per_thread * t;
+  const double us = stats.kernel_launches * (fork_join_us + spec_.dispatch_us) +
+                    stats.barriers * barrier_us;
+  return us * 1e-6;
+}
+
+double CostModel::transfer_time_s(const KernelStats& stats) const {
+  const double bytes = stats.h2d_bytes + stats.d2h_bytes;
+  if (bytes <= 0 && stats.transfers == 0) return 0;
+  const double gb_s =
+      spec_.chunk_load_gb_s > 0 ? spec_.chunk_load_gb_s : spec_.pcie_gb_s;
+  if (gb_s <= 0) return 0;  // host machine: data is already local
+  return bytes / (gb_s * 1e9) + stats.transfers * spec_.pcie_latency_us * 1e-6;
+}
+
+CostBreakdown CostModel::evaluate(const KernelStats& stats, int threads) const {
+  DEEPPHI_CHECK_MSG(threads >= 1, "threads must be >= 1, got " << threads);
+  CostBreakdown b;
+  const double gemm_rate = gemm_rate_gflops(threads) * 1e9;
+  if (stats.gemm_flops > 0) {
+    // Bucketed: small GEMMs run at a fraction of the large-GEMM rate.
+    for (int bucket = 0; bucket < kGemmBuckets; ++bucket) {
+      const double flops = stats.gemm_flops_bucket[bucket];
+      if (flops > 0)
+        b.gemm_s += flops / (gemm_rate * spec_.gemm_occupancy[bucket]);
+    }
+    // Flops recorded without bucket detail (hand-built stats) run at the
+    // nominal rate.
+    const double unbucketed =
+        stats.gemm_flops - (stats.gemm_flops_bucket[0] + stats.gemm_flops_bucket[1] +
+                            stats.gemm_flops_bucket[2] + stats.gemm_flops_bucket[3]);
+    if (unbucketed > 0) b.gemm_s += unbucketed / gemm_rate;
+  }
+
+  if (stats.loop_flops > 0 || stats.total_bytes() > 0) {
+    const double loop_rate = loop_rate_gflops(threads) * 1e9;
+    const double flop_time = stats.loop_flops / loop_rate;
+    // The elementwise kernels are stream kernels: whichever of the compute
+    // and memory rooflines is slower governs.
+    const double bw_time = stats.total_bytes() / (achieved_mem_gb_s() * 1e9);
+    b.loop_s = std::max(flop_time, bw_time) * spec_.software_overhead;
+  }
+
+  if (stats.naive_flops > 0) {
+    b.naive_s = stats.naive_flops / (naive_rate_gflops(threads) * 1e9) *
+                spec_.software_overhead;
+  }
+
+  b.sync_s = sync_time_s(stats, threads);
+  b.transfer_s = transfer_time_s(stats);
+  return b;
+}
+
+}  // namespace deepphi::phi

@@ -1,0 +1,75 @@
+#include "phi/device.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace deepphi::phi {
+
+Device::Device(MachineSpec spec, int threads) : model_(std::move(spec)) {
+  set_threads(threads == 0 ? this->spec().max_threads() : threads);
+}
+
+void Device::set_threads(int threads) {
+  DEEPPHI_CHECK_MSG(threads >= 1 && threads <= spec().max_threads(),
+                    "threads " << threads << " out of [1, " << spec().max_threads()
+                               << "] for " << spec().name);
+  threads_ = threads;
+}
+
+Device::BufferId Device::alloc(const std::string& name, double bytes) {
+  DEEPPHI_CHECK_MSG(bytes >= 0, "negative allocation for '" << name << "'");
+  DEEPPHI_CHECK_MSG(used_bytes_ + bytes <= capacity_bytes(),
+                    "device OOM allocating '"
+                        << name << "' (" << bytes << " B): " << used_bytes_
+                        << " of " << capacity_bytes() << " B already in use on "
+                        << spec().name);
+  buffers_.push_back(Buffer{name, bytes, true});
+  used_bytes_ += bytes;
+  return buffers_.size() - 1;
+}
+
+void Device::free(BufferId id) {
+  DEEPPHI_CHECK_MSG(id < buffers_.size(), "bad buffer id " << id);
+  DEEPPHI_CHECK_MSG(buffers_[id].live, "double free of device buffer '"
+                                           << buffers_[id].name << "'");
+  buffers_[id].live = false;
+  used_bytes_ -= buffers_[id].bytes;
+}
+
+double Device::submit_compute(const std::string& name, const KernelStats& stats,
+                              double ready_at_s) {
+  const CostBreakdown cost = model_.evaluate(stats, threads_);
+  const double start = std::max(compute_until_s_, ready_at_s);
+  const double end = start + cost.compute_s();
+  compute_until_s_ = end;
+  trace_.add(TraceEvent{name, TraceEvent::Resource::kCompute, start, end});
+  return end;
+}
+
+double Device::submit_transfer(const std::string& name, double bytes,
+                               double ready_at_s, bool use_chunk_path) {
+  DEEPPHI_CHECK_MSG(bytes >= 0, "negative transfer '" << name << "'");
+  const MachineSpec& m = spec();
+  double gb_s = use_chunk_path && m.chunk_load_gb_s > 0 ? m.chunk_load_gb_s
+                                                        : m.pcie_gb_s;
+  double duration = 0;
+  if (gb_s > 0) duration = bytes / (gb_s * 1e9) + m.pcie_latency_us * 1e-6;
+  const double start = std::max(dma_until_s_, ready_at_s);
+  const double end = start + duration;
+  dma_until_s_ = end;
+  trace_.add(TraceEvent{name, TraceEvent::Resource::kDma, start, end});
+  return end;
+}
+
+double Device::elapsed_s() const {
+  return std::max(compute_until_s_, dma_until_s_);
+}
+
+void Device::reset_timeline() {
+  compute_until_s_ = 0;
+  dma_until_s_ = 0;
+  trace_.clear();
+}
+
+}  // namespace deepphi::phi

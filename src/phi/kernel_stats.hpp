@@ -1,0 +1,117 @@
+// KernelStats is the contract between the compute library and the Xeon Phi
+// cost model: every kernel records *what work it did* (categorized flops,
+// bytes, launches, barriers, transfers); the cost model later converts a
+// stats bundle into simulated seconds for a given machine/thread
+// configuration.
+//
+// Recording is scope-based: a StatsScope installs a thread-local collector;
+// kernels call record(...) once per invocation with stat contributions
+// computed purely from their shapes. That purity is what makes the analytic
+// "model" mode (core/cost_accounting) reproduce measured stats exactly —
+// a property pinned by tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deepphi::phi {
+
+/// Number of GEMM size buckets (by the smallest of m, n, k). Small GEMMs
+/// cannot saturate a many-core chip — the effect behind the paper's Fig. 9
+/// batch-size sweep — so flops are bucketed and machines apply a per-bucket
+/// occupancy factor.
+inline constexpr int kGemmBuckets = 4;
+
+/// Bucket of a GEMM whose smallest dimension is `min_dim`:
+/// 0: <64, 1: <256, 2: <1024, 3: >=1024.
+int gemm_bucket(std::int64_t min_dim);
+
+/// Work accounting for a region of execution. All quantities are additive.
+struct KernelStats {
+  /// Flops executed inside blocked/packed/SIMD GEMM kernels ("MKL" class).
+  double gemm_flops = 0;
+  /// The same flops, bucketed by the GEMM's smallest dimension (sums to
+  /// gemm_flops).
+  double gemm_flops_bucket[kGemmBuckets] = {0, 0, 0, 0};
+  /// Flops in vectorizable elementwise / reduction loops (sigmoid, axpy,
+  /// sampling, column sums, ...).
+  double loop_flops = 0;
+  /// Flops on naive scalar paths: triple-loop matrix products and unfused
+  /// scalar loops of the baseline implementations.
+  double naive_flops = 0;
+
+  /// Memory traffic of the loop-class kernels (the bandwidth-bound ones).
+  double bytes_read = 0;
+  double bytes_written = 0;
+
+  /// Number of parallel kernels launched (each costs one fork/join on the
+  /// simulated machine).
+  std::int64_t kernel_launches = 0;
+  /// Extra synchronization barriers beyond the implicit end-of-kernel join.
+  std::int64_t barriers = 0;
+
+  /// Host→device / device→host transfer traffic (PCIe model).
+  double h2d_bytes = 0;
+  double d2h_bytes = 0;
+  std::int64_t transfers = 0;
+
+  KernelStats& operator+=(const KernelStats& o);
+  KernelStats operator+(const KernelStats& o) const;
+  /// Scales all additive quantities (used to extrapolate one step → many).
+  KernelStats scaled(double factor) const;
+
+  double total_flops() const { return gemm_flops + loop_flops + naive_flops; }
+  double total_bytes() const { return bytes_read + bytes_written; }
+
+  /// True when all fields match within a relative tolerance (flops/bytes) and
+  /// exactly (counters). Used by model==measure property tests.
+  bool approx_equal(const KernelStats& o, double rtol = 1e-9) const;
+
+  std::string to_string() const;
+};
+
+/// Installs `sink` as the current thread's collector for the scope lifetime;
+/// restores the previous collector on destruction (scopes nest).
+class StatsScope {
+ public:
+  explicit StatsScope(KernelStats& sink);
+  ~StatsScope();
+  StatsScope(const StatsScope&) = delete;
+  StatsScope& operator=(const StatsScope&) = delete;
+
+ private:
+  KernelStats* prev_;
+};
+
+/// Adds `contribution` to the current thread's collector; no-op when no
+/// StatsScope is active (so production use of the kernels costs one branch).
+void record(const KernelStats& contribution);
+
+/// Returns the active collector or nullptr.
+KernelStats* current_stats();
+
+// --- Shape-only stat builders shared by kernels and the analytic model. ---
+
+/// C(m×n) += op(A)·op(B) with inner dimension k: 2mnk flops in GEMM class.
+KernelStats gemm_contribution(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Naive triple-loop product of the same shape: same flops, naive class.
+KernelStats naive_gemm_contribution(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Elementwise/reduction loop over n elements with `flops_per_elem` flops,
+/// reading r and writing w floats per element.
+KernelStats loop_contribution(std::int64_t n, double flops_per_elem,
+                              double floats_read_per_elem,
+                              double floats_written_per_elem);
+
+/// Same shape of work on the naive/scalar path.
+KernelStats naive_loop_contribution(std::int64_t n, double flops_per_elem,
+                                    double floats_read_per_elem,
+                                    double floats_written_per_elem);
+
+/// One host→device transfer of `bytes`.
+KernelStats h2d_contribution(double bytes);
+/// One device→host transfer of `bytes`.
+KernelStats d2h_contribution(double bytes);
+
+}  // namespace deepphi::phi

@@ -1,0 +1,77 @@
+#include "phi/offload.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace deepphi::phi {
+
+double OffloadReport::exposed_transfer_fraction() const {
+  if (total_s <= 0) return 0;
+  // Whatever part of the span is not covered by compute is exposed transfer
+  // (pipeline fill, or every transfer when loading is synchronous).
+  return std::max(0.0, total_s - compute_busy_s) / total_s;
+}
+
+Offload::Offload(Device& device, OffloadConfig config)
+    : device_(device), config_(config) {
+  DEEPPHI_CHECK_MSG(config_.ring_chunks >= 1,
+                    "ring_chunks must be >= 1, got " << config_.ring_chunks);
+}
+
+void Offload::reserve_ring(double chunk_bytes) {
+  DEEPPHI_CHECK_MSG(ring_buffers_.empty(), "ring already reserved");
+  for (int i = 0; i < config_.ring_chunks; ++i)
+    ring_buffers_.push_back(
+        device_.alloc("chunk-ring[" + std::to_string(i) + "]", chunk_bytes));
+}
+
+void Offload::release_ring() {
+  for (Device::BufferId id : ring_buffers_) device_.free(id);
+  ring_buffers_.clear();
+}
+
+OffloadReport Offload::process_chunks(int n_chunks, double chunk_bytes,
+                                      const KernelStats& per_chunk_stats) {
+  DEEPPHI_CHECK_MSG(n_chunks >= 0, "negative chunk count");
+  OffloadReport report;
+  report.chunks.reserve(static_cast<std::size_t>(n_chunks));
+
+  // slot_free[s]: simulated time at which ring slot s may be overwritten
+  // (its previous occupant has been consumed by training).
+  std::vector<double> slot_free(static_cast<std::size_t>(config_.ring_chunks), 0.0);
+  double last_compute_end = 0.0;
+
+  for (int i = 0; i < n_chunks; ++i) {
+    const std::size_t slot =
+        static_cast<std::size_t>(i % config_.ring_chunks);
+    double transfer_ready = slot_free[slot];
+    if (!config_.async_loading) {
+      // No loading thread: the host only starts feeding the next chunk once
+      // training of the previous one finished.
+      transfer_ready = std::max(transfer_ready, last_compute_end);
+    }
+    const std::string tag = "chunk[" + std::to_string(i) + "]";
+    const double t_end =
+        device_.submit_transfer(tag + " h2d", chunk_bytes, transfer_ready,
+                                /*use_chunk_path=*/true);
+    const double c_end = device_.submit_compute(tag + " train", per_chunk_stats,
+                                                /*ready_at_s=*/t_end);
+    last_compute_end = c_end;
+    slot_free[slot] = c_end;
+
+    const auto& events = device_.trace().events();
+    const auto& dma_event = events[events.size() - 2];
+    const auto& compute_event = events[events.size() - 1];
+    report.chunks.push_back(ChunkTiming{dma_event.start_s, dma_event.end_s,
+                                        compute_event.start_s,
+                                        compute_event.end_s});
+  }
+
+  report.total_s = device_.elapsed_s();
+  report.compute_busy_s = device_.trace().busy_s(TraceEvent::Resource::kCompute);
+  report.transfer_busy_s = device_.trace().busy_s(TraceEvent::Resource::kDma);
+  return report;
+}
+
+}  // namespace deepphi::phi

@@ -1,0 +1,88 @@
+#include "phi/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepphi::phi {
+
+ThreadTuneResult tune_threads(const CostModel& model, const KernelStats& stats,
+                              std::vector<int> candidates) {
+  const int max_threads = model.machine().max_threads();
+  if (candidates.empty()) {
+    for (int t = 1; t <= max_threads; t *= 2) candidates.push_back(t);
+    // Full core multiples (1, 2, 3, 4 threads per core).
+    for (int per_core = 1; per_core <= model.machine().threads_per_core;
+         ++per_core) {
+      const int t = model.machine().cores * per_core;
+      if (t <= max_threads) candidates.push_back(t);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  DEEPPHI_CHECK_MSG(!candidates.empty(), "no thread candidates");
+
+  ThreadTuneResult result;
+  result.best_time_s = 1e300;
+  for (int t : candidates) {
+    if (t < 1 || t > max_threads) continue;
+    const double time = model.evaluate(stats, t).compute_s();
+    result.curve.emplace_back(t, time);
+    if (time < result.best_time_s) {
+      result.best_time_s = time;
+      result.best_threads = t;
+    }
+  }
+  DEEPPHI_CHECK_MSG(!result.curve.empty(), "no valid thread candidates");
+  return result;
+}
+
+HybridSplitResult tune_hybrid_split(
+    const CostModel& phi_model, int phi_threads, const CostModel& host_model,
+    int host_threads, const std::function<KernelStats(long long)>& batch_stats,
+    long long batch_rows, double param_bytes, double step) {
+  DEEPPHI_CHECK_MSG(step > 0 && step <= 0.5, "fraction step out of (0, 0.5]");
+  DEEPPHI_CHECK_MSG(batch_rows >= 1, "batch_rows must be >= 1");
+
+  // Per-batch parameter/gradient exchange: the host needs the Phi partial
+  // gradient and the Phi needs the combined update (or vice versa).
+  const double pcie = phi_model.machine().pcie_gb_s;
+  const double exchange_s =
+      pcie > 0 ? 2.0 * param_bytes / (pcie * 1e9) +
+                     2.0 * phi_model.machine().pcie_latency_us * 1e-6
+               : 0.0;
+
+  HybridSplitResult result;
+  result.best_time_s = 1e300;
+  for (double f = 0.0; f <= 1.0 + 1e-9; f += step) {
+    const long long phi_rows =
+        static_cast<long long>(std::llround(f * static_cast<double>(batch_rows)));
+    const long long host_rows = batch_rows - phi_rows;
+    const double phi_s =
+        phi_rows > 0
+            ? phi_model.evaluate(batch_stats(phi_rows), phi_threads).compute_s()
+            : 0.0;
+    const double host_s =
+        host_rows > 0 ? host_model.evaluate(batch_stats(host_rows), host_threads)
+                            .compute_s()
+                      : 0.0;
+    // Exchange only happens when both sides hold part of the batch.
+    const double overhead = (phi_rows > 0 && host_rows > 0) ? exchange_s : 0.0;
+    // The two devices work concurrently; the slower one governs. Pure-host
+    // splits still ship the batch nowhere, so no transfer either way.
+    const double total = std::max(phi_s, host_s) + overhead;
+
+    result.curve.emplace_back(f, total);
+    if (total < result.best_time_s) {
+      result.best_time_s = total;
+      result.best_fraction = f;
+    }
+    if (phi_rows == batch_rows) result.phi_only_s = total;
+    if (phi_rows == 0) result.host_only_s = total;
+  }
+  return result;
+}
+
+}  // namespace deepphi::phi

@@ -1,0 +1,55 @@
+// The paper's future-work items, made concrete on the simulator:
+//
+//  #1 "a balance should be found between parallelism and synchronization.
+//      For now, we need to adjust the number of threads manually" —
+//      tune_threads() searches thread counts for the one minimizing the
+//      simulated time of a given workload (small workloads prefer fewer
+//      threads because fork/join costs grow with the team size).
+//
+//  #2 "a further combination between Xeon and Intel Xeon Phi can bring us
+//      higher efficiency" — tune_hybrid_split() splits every mini-batch
+//      between the host CPU and the coprocessor, modelling the per-batch
+//      gradient exchange over PCIe, and finds the split fraction minimizing
+//      the step time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "phi/cost_model.hpp"
+
+namespace deepphi::phi {
+
+struct ThreadTuneResult {
+  int best_threads = 1;
+  double best_time_s = 0;
+  /// (threads, simulated seconds) for every candidate evaluated.
+  std::vector<std::pair<int, double>> curve;
+};
+
+/// Finds the thread count minimizing the simulated compute time of `stats`
+/// on `model`'s machine. `candidates` defaults to 1, 2, 4, ... plus full
+/// multiples of the core count.
+ThreadTuneResult tune_threads(const CostModel& model, const KernelStats& stats,
+                              std::vector<int> candidates = {});
+
+struct HybridSplitResult {
+  double best_fraction = 1.0;  // share of each batch sent to the Phi
+  double best_time_s = 0;      // per-batch step time at the best split
+  double phi_only_s = 0;       // fraction = 1
+  double host_only_s = 0;      // fraction = 0
+  /// (fraction, per-batch seconds) for every candidate evaluated.
+  std::vector<std::pair<double, double>> curve;
+};
+
+/// Sweeps the Phi share of each mini-batch. The per-step time at fraction f
+/// is max(phi_time(f·B), host_time((1−f)·B)) + exchange, where exchange is
+/// the per-batch gradient/parameter traffic (2 × param_bytes) over PCIe —
+/// both sides must agree on the updated parameters before the next batch.
+/// Fractions are swept in steps of `step` over [0, 1].
+HybridSplitResult tune_hybrid_split(
+    const CostModel& phi_model, int phi_threads, const CostModel& host_model,
+    int host_threads, const std::function<KernelStats(long long)>& batch_stats,
+    long long batch_rows, double param_bytes, double step = 0.05);
+
+}  // namespace deepphi::phi

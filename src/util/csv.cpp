@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace deepphi::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DEEPPHI_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DEEPPHI_CHECK_MSG(cells.size() == header_.size(),
+                    "row has " << cells.size() << " cells, header has "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      DEEPPHI_CHECK_MSG(row[c].find(',') == std::string::npos,
+                        "CSV cell contains a comma: '" << row[c] << "'");
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  DEEPPHI_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << to_csv();
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace deepphi::util

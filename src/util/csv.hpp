@@ -1,0 +1,46 @@
+// Table/CSV emitters for benchmark output. Benches print both a fixed-width
+// human-readable table (what the paper's figures show as curves) and an
+// optional CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace deepphi::util {
+
+/// Accumulates rows of stringified cells, then renders either aligned text or
+/// CSV. All rows must have the same number of cells as the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.4g and integers as-is.
+  static std::string cell(double v);
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+  static std::string cell(T v) {
+    return std::to_string(v);
+  }
+  static std::string cell(const std::string& v) { return v; }
+
+  /// Renders an aligned, pipe-separated text table.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our cells; commas in
+  /// cells are rejected).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; throws util::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepphi::util

@@ -1,0 +1,51 @@
+// Error handling primitives: checked invariants that throw structured
+// exceptions. The library throws deepphi::util::Error (a std::runtime_error)
+// for precondition violations instead of asserting, so callers (tests,
+// benches, user applications) can recover and report.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deepphi::util {
+
+/// Exception type thrown by all DEEPPHI_CHECK* macros.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace deepphi::util
+
+/// Throws util::Error when `cond` is false. Always on (not compiled out in
+/// release builds): the costs guarded here are shape/state checks outside the
+/// hot loops.
+#define DEEPPHI_CHECK(cond)                                                     \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::deepphi::util::detail::throw_check_failure(#cond, __FILE__, __LINE__,   \
+                                                   "");                         \
+  } while (0)
+
+/// Like DEEPPHI_CHECK but with a streamed message:
+///   DEEPPHI_CHECK_MSG(a.cols() == b.rows(), "gemm shape " << a.cols());
+#define DEEPPHI_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::ostringstream dp_os_;                                                \
+      dp_os_ << stream_expr;                                                    \
+      ::deepphi::util::detail::throw_check_failure(#cond, __FILE__, __LINE__,   \
+                                                   dp_os_.str());               \
+    }                                                                           \
+  } while (0)

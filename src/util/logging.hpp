@@ -1,0 +1,43 @@
+// Minimal leveled logger. Single global sink (stderr by default); thread-safe
+// line-at-a-time output. Benches and examples use INFO; the library itself
+// logs sparingly (device setup, chunk pipeline events at DEBUG).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace deepphi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line (thread-safe). Prefer the macros below.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace deepphi::util
+
+#define DEEPPHI_LOG(level) ::deepphi::util::detail::LogMessage(level)
+#define DEEPPHI_DEBUG() DEEPPHI_LOG(::deepphi::util::LogLevel::kDebug)
+#define DEEPPHI_INFO() DEEPPHI_LOG(::deepphi::util::LogLevel::kInfo)
+#define DEEPPHI_WARN() DEEPPHI_LOG(::deepphi::util::LogLevel::kWarn)
+#define DEEPPHI_ERROR() DEEPPHI_LOG(::deepphi::util::LogLevel::kError)

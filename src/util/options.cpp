@@ -1,0 +1,76 @@
+#include "util/options.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace deepphi::util {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      opts.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      DEEPPHI_CHECK_MSG(!body.empty(), "empty flag '--'");
+      opts.values_[body] = "true";
+    } else {
+      const std::string key = body.substr(0, eq);
+      DEEPPHI_CHECK_MSG(!key.empty(), "flag with empty name: '" << arg << "'");
+      opts.values_[key] = body.substr(eq + 1);
+    }
+  }
+  return opts;
+}
+
+Options& Options::declare(const std::string& name, const std::string& help,
+                          const std::string& default_value) {
+  decls_[name] = Decl{help, default_value};
+  return *this;
+}
+
+void Options::validate() const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    DEEPPHI_CHECK_MSG(decls_.count(key) != 0, "unknown flag --" << key);
+  }
+}
+
+bool Options::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string Options::get_string(const std::string& name) const {
+  if (auto it = values_.find(name); it != values_.end()) return it->second;
+  if (auto it = decls_.find(name); it != decls_.end()) return it->second.default_value;
+  throw Error("option --" + name + " was neither supplied nor declared with a default");
+}
+
+long long Options::get_int(const std::string& name) const {
+  return parse_int(get_string(name));
+}
+
+double Options::get_double(const std::string& name) const {
+  return parse_double(get_string(name));
+}
+
+bool Options::get_bool(const std::string& name) const {
+  return parse_bool(get_string(name));
+}
+
+std::string Options::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [--flag=value ...]\n";
+  for (const auto& [name, decl] : decls_) {
+    os << "  --" << name;
+    if (!decl.default_value.empty()) os << " (default: " << decl.default_value << ")";
+    os << "\n      " << decl.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace deepphi::util

@@ -1,0 +1,52 @@
+// Tiny --key=value command-line option parser used by benches and examples.
+// Not a general argv framework: flags are always of the form --name=value or
+// --name (boolean true); unknown flags throw so experiments never silently
+// ignore a typo'd parameter.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deepphi::util {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv. Throws util::Error on malformed arguments. Positional
+  /// arguments (no leading --) are collected in positional().
+  static Options parse(int argc, const char* const* argv);
+
+  /// Declares a known flag so validate() can reject unknown ones, and so
+  /// help() can print it.
+  Options& declare(const std::string& name, const std::string& help,
+                   const std::string& default_value = "");
+
+  /// Throws if an undeclared flag was supplied.
+  void validate() const;
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted help text for declared flags.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Decl {
+    std::string help;
+    std::string default_value;
+  };
+  std::map<std::string, std::string> values_;
+  std::map<std::string, Decl> decls_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace deepphi::util

@@ -1,0 +1,73 @@
+// Deterministic, splittable random number generation.
+//
+// Training code never touches std::mt19937: we need (a) identical streams on
+// sequential and parallel runs for parity tests, and (b) cheap per-thread
+// streams. xoshiro256** provides the core generator; SplitMix64 expands a
+// (seed, stream) pair into generator state, so Rng(seed, k) for distinct k are
+// statistically independent.
+#pragma once
+
+#include <cstdint>
+
+namespace deepphi::util {
+
+/// SplitMix64: used to seed xoshiro and as a tiny standalone generator for
+/// hashing-style uses.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// wrapped with convenience distributions used by the trainers.
+class Rng {
+ public:
+  /// Seeds the generator from (seed, stream). Distinct streams with the same
+  /// seed produce independent sequences; used to give each thread / purpose
+  /// its own stream: Rng(seed, hash(thread, purpose)).
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform float in [0, 1) — the type used by sampling kernels.
+  float uniform_float();
+
+  /// Standard normal via Box–Muller (cached pair).
+  double normal();
+  /// Normal with the given mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli(p) — true with probability p.
+  bool bernoulli(double p);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Long-jump equivalent: returns a new Rng for substream `k`, derived
+  /// deterministically from this generator's seed material.
+  Rng split(std::uint64_t k) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_ = 0;
+  std::uint64_t stream_ = 0;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace deepphi::util

@@ -1,0 +1,103 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace deepphi::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+long long parse_int(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    // Accept scientific notation for convenience ("1e6" examples counts).
+    const double d = std::stod(s, &pos);
+    DEEPPHI_CHECK_MSG(pos == s.size(), "trailing characters in integer '" << s << "'");
+    const long long v = static_cast<long long>(std::llround(d));
+    DEEPPHI_CHECK_MSG(static_cast<double>(v) == d, "'" << s << "' is not an integer");
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw Error("cannot parse integer from '" + s + "'");
+  } catch (const std::out_of_range&) {
+    throw Error("integer out of range: '" + s + "'");
+  }
+}
+
+double parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(s, &pos);
+    DEEPPHI_CHECK_MSG(pos == s.size(), "trailing characters in number '" << s << "'");
+    return d;
+  } catch (const std::invalid_argument&) {
+    throw Error("cannot parse number from '" + s + "'");
+  } catch (const std::out_of_range&) {
+    throw Error("number out of range: '" + s + "'");
+  }
+}
+
+bool parse_bool(const std::string& s) {
+  const std::string v = to_lower(trim(s));
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw Error("cannot parse bool from '" + s + "'");
+}
+
+std::string format_bytes(double bytes) {
+  static const char* suffix[] = {"B", "KB", "MB", "GB", "TB"};
+  int i = 0;
+  while (bytes >= 1024.0 && i < 4) {
+    bytes /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, suffix[i]);
+  return buf;
+}
+
+std::string format_si(double value, const std::string& unit) {
+  static const char* suffix[] = {"", "K", "M", "G", "T", "P"};
+  int i = 0;
+  double v = value;
+  while (std::fabs(v) >= 1000.0 && i < 5) {
+    v /= 1000.0;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s%s", v, suffix[i], unit.c_str());
+  return buf;
+}
+
+}  // namespace deepphi::util

@@ -1,0 +1,34 @@
+// Small string helpers shared by the CLI option parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepphi::util {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+/// Parses "123", "1e6", "4096" into the requested numeric type; throws
+/// util::Error on malformed input.
+long long parse_int(const std::string& s);
+double parse_double(const std::string& s);
+bool parse_bool(const std::string& s);
+
+/// Human-friendly "1.23 GB" / "456 MB" formatting of a byte count.
+std::string format_bytes(double bytes);
+
+/// "1.23e+09 flop" style formatting with SI suffix (K/M/G/T).
+std::string format_si(double value, const std::string& unit);
+
+}  // namespace deepphi::util

@@ -1,0 +1,27 @@
+// Wall-clock timing helpers used by the measurement paths and by benches.
+#pragma once
+
+#include <chrono>
+
+namespace deepphi::util {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace deepphi::util

@@ -1,0 +1,142 @@
+// Randomized property sweeps: seeded fuzz over GEMM shapes against the
+// naive oracle, random DAGs through the TaskGraph executor, RNG statistical
+// sanity, and pipeline stress. Deterministic (fixed seeds) so failures
+// reproduce.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "baseline/naive_gemm.hpp"
+#include "data/chunk_stream.hpp"
+#include "la/gemm.hpp"
+#include "parallel/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi {
+namespace {
+
+la::Matrix random_matrix(la::Index rows, la::Index cols, util::Rng& rng) {
+  la::Matrix m = la::Matrix::uninitialized(rows, cols);
+  for (la::Index i = 0; i < m.size(); ++i)
+    m.data()[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return m;
+}
+
+class GemmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmFuzz, RandomShapesMatchNaive) {
+  util::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const la::Index m = 1 + static_cast<la::Index>(rng.uniform_index(150));
+  const la::Index n = 1 + static_cast<la::Index>(rng.uniform_index(150));
+  const la::Index k = 1 + static_cast<la::Index>(rng.uniform_index(150));
+  const la::Trans ta = rng.bernoulli(0.5) ? la::Trans::kYes : la::Trans::kNo;
+  const la::Trans tb = rng.bernoulli(0.5) ? la::Trans::kYes : la::Trans::kNo;
+  const float alpha = static_cast<float>(rng.uniform(-2.0, 2.0));
+  const float beta = rng.bernoulli(0.3) ? 0.0f : static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  la::Matrix a = random_matrix(ta == la::Trans::kNo ? m : k,
+                               ta == la::Trans::kNo ? k : m, rng);
+  la::Matrix b = random_matrix(tb == la::Trans::kNo ? k : n,
+                               tb == la::Trans::kNo ? n : k, rng);
+  la::Matrix c_opt = random_matrix(m, n, rng);
+  la::Matrix c_ref = c_opt;
+
+  la::gemm(ta, tb, alpha, a, b, beta, c_opt);
+  baseline::naive_gemm(ta, tb, alpha, a, b, beta, c_ref);
+  EXPECT_TRUE(c_opt.approx_equal(c_ref, 1e-3f, 1e-4f))
+      << "m=" << m << " n=" << n << " k=" << k << " ta=" << (ta == la::Trans::kYes)
+      << " tb=" << (tb == la::Trans::kYes) << " alpha=" << alpha
+      << " beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmFuzz, ::testing::Range(0, 24));
+
+class DagFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagFuzz, RandomDagExecutesRespectingDependencies) {
+  util::Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 4 + rng.uniform_index(20);
+  par::TaskGraph graph;
+  std::vector<std::atomic<bool>> done(n);
+  std::vector<std::vector<std::size_t>> deps(n);
+  std::atomic<int> violations{0};
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Edges only from lower to higher ids: guaranteed acyclic.
+    for (std::size_t j = 0; j < i; ++j)
+      if (rng.bernoulli(0.25)) deps[i].push_back(j);
+    graph.add("n" + std::to_string(i), [&, i] {
+      for (std::size_t j : deps[i])
+        if (!done[j].load()) ++violations;
+      done[i].store(true);
+    });
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j : deps[i]) graph.depends(i, j);
+
+  par::ThreadPool pool(4);
+  graph.run(pool);
+  EXPECT_EQ(violations.load(), 0);
+  for (const auto& d : done) EXPECT_TRUE(d.load());
+  EXPECT_EQ(graph.last_finish_order().size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagFuzz, ::testing::Range(0, 12));
+
+TEST(RngStats, ChiSquareUniformIndex) {
+  // 10 bins, 100k draws: chi-square statistic should be far below the
+  // df=9 p=0.001 critical value (27.9).
+  util::Rng rng(77);
+  const int bins = 10, draws = 100000;
+  std::vector<int> counts(bins, 0);
+  for (int i = 0; i < draws; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_index(bins))];
+  const double expected = static_cast<double>(draws) / bins;
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RngStats, SplitStreamsUncorrelated) {
+  util::Rng base(88);
+  util::Rng a = base.split(1), b = base.split(2);
+  const int n = 20000;
+  double sum_ab = 0, sum_a = 0, sum_b = 0, sum_a2 = 0, sum_b2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform(), y = b.uniform();
+    sum_ab += x * y;
+    sum_a += x;
+    sum_b += y;
+    sum_a2 += x * x;
+    sum_b2 += y * y;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  const double var_a = sum_a2 / n - (sum_a / n) * (sum_a / n);
+  const double var_b = sum_b2 / n - (sum_b / n) * (sum_b / n);
+  const double corr = cov / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::fabs(corr), 0.03);
+}
+
+TEST(PipelineStress, ManySmallChunksAllDelivered) {
+  data::Dataset set(10000, 3);
+  for (la::Index i = 0; i < set.size(); ++i)
+    set.example(i)[0] = static_cast<float>(i);
+  data::ChunkStreamConfig cfg;
+  cfg.chunk_examples = 7;  // 1429 chunks through the ring
+  cfg.background = true;
+  cfg.ring_chunks = 3;
+  data::ChunkStream stream(set, cfg);
+  la::Index seen = 0;
+  float expected_first = 0;
+  while (auto chunk = stream.next()) {
+    EXPECT_EQ((*chunk)(0, 0), expected_first);
+    seen += chunk->rows();
+    expected_first += static_cast<float>(chunk->rows());
+  }
+  EXPECT_EQ(seen, 10000);
+}
+
+}  // namespace
+}  // namespace deepphi

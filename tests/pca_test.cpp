@@ -1,0 +1,181 @@
+// PCA tests: the Jacobi eigensolver against known matrices, the statistical
+// properties of fitted components, and reconstruction behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pca.hpp"
+#include "data/patches.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi::core {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixIsFixedPoint) {
+  std::vector<double> a = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  std::vector<double> values, vectors;
+  jacobi_eigen_symmetric(a, 3, values, vectors);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[0], 1.0, 1e-10);
+  EXPECT_NEAR(sorted[1], 2.0, 1e-10);
+  EXPECT_NEAR(sorted[2], 3.0, 1e-10);
+}
+
+TEST(Jacobi, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  std::vector<double> a = {2, 1, 1, 2};
+  std::vector<double> values, vectors;
+  jacobi_eigen_symmetric(a, 2, values, vectors);
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[0], 1.0, 1e-10);
+  EXPECT_NEAR(values[1], 3.0, 1e-10);
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  // Random symmetric 8x8.
+  util::Rng rng(1);
+  const int n = 8;
+  std::vector<double> a(n * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) a[i * n + j] = a[j * n + i] = rng.uniform(-1, 1);
+  std::vector<double> values, vectors;
+  jacobi_eigen_symmetric(a, n, values, vectors);
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      double dot = 0;
+      for (int k = 0; k < n; ++k) dot += vectors[k * n + p] * vectors[k * n + q];
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-8) << p << "," << q;
+    }
+  }
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  // A = V diag(w) V^T must reproduce the input.
+  util::Rng rng(2);
+  const int n = 6;
+  std::vector<double> orig(n * n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j)
+      orig[i * n + j] = orig[j * n + i] = rng.uniform(-1, 1);
+  std::vector<double> a = orig, values, vectors;
+  jacobi_eigen_symmetric(a, n, values, vectors);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0;
+      for (int k = 0; k < n; ++k)
+        sum += vectors[i * n + k] * values[k] * vectors[j * n + k];
+      EXPECT_NEAR(sum, orig[i * n + j], 1e-8);
+    }
+  }
+}
+
+data::Dataset planted_dataset(la::Index n, std::uint64_t seed) {
+  // Data living mostly along two planted orthogonal directions in 6d.
+  data::Dataset set(n, 6);
+  util::Rng rng(seed);
+  const float d1[6] = {0.7071f, 0.7071f, 0, 0, 0, 0};
+  const float d2[6] = {0, 0, 0.7071f, -0.7071f, 0, 0};
+  for (la::Index i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.normal(0, 3.0));
+    const float b = static_cast<float>(rng.normal(0, 1.5));
+    for (int j = 0; j < 6; ++j)
+      set.example(i)[j] = a * d1[j] + b * d2[j] +
+                          0.05f * static_cast<float>(rng.normal());
+  }
+  return set;
+}
+
+TEST(Pca, RecoversPlantedDirections) {
+  data::Dataset set = planted_dataset(2000, 3);
+  const Pca pca = Pca::fit(set, 2);
+  // First component aligns with d1 (up to sign).
+  const float* c0 = pca.basis().row(0);
+  EXPECT_NEAR(std::fabs(c0[0] * 0.7071f + c0[1] * 0.7071f), 1.0, 0.02);
+  const float* c1 = pca.basis().row(1);
+  EXPECT_NEAR(std::fabs(c1[2] * 0.7071f - c1[3] * 0.7071f), 1.0, 0.02);
+  // Eigenvalues ≈ planted variances (9 and 2.25).
+  EXPECT_NEAR(pca.eigenvalues()[0], 9.0, 0.8);
+  EXPECT_NEAR(pca.eigenvalues()[1], 2.25, 0.3);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.98);
+}
+
+TEST(Pca, EigenvaluesDescending) {
+  data::Dataset patches = data::make_digit_patch_dataset(600, 4, 5);
+  const Pca pca = Pca::fit(patches, 16);
+  for (la::Index k = 1; k < 16; ++k)
+    EXPECT_GE(pca.eigenvalues()[k - 1], pca.eigenvalues()[k] - 1e-6f);
+}
+
+TEST(Pca, ReconstructionErrorDecreasesWithComponents) {
+  data::Dataset patches = data::make_digit_patch_dataset(600, 4, 7);
+  double prev = 1e300;
+  for (la::Index k : {2, 4, 8, 16}) {
+    const double err = Pca::fit(patches, k).reconstruction_error(patches);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(Pca, FullRankReconstructsExactly) {
+  data::Dataset patches = data::make_digit_patch_dataset(300, 4, 9);
+  const Pca pca = Pca::fit(patches, 16);  // dim = 16, full rank
+  EXPECT_LT(pca.reconstruction_error(patches), 1e-6);
+  EXPECT_NEAR(pca.explained_variance_ratio(), 1.0, 1e-9);
+}
+
+TEST(Pca, EncodeDecodeShapes) {
+  data::Dataset patches = data::make_digit_patch_dataset(100, 4, 11);
+  const Pca pca = Pca::fit(patches, 5);
+  la::Matrix x(10, 16);
+  patches.copy_batch(0, 10, x);
+  la::Matrix code, recon;
+  pca.encode(x, code);
+  EXPECT_EQ(code.rows(), 10);
+  EXPECT_EQ(code.cols(), 5);
+  pca.decode(code, recon);
+  EXPECT_EQ(recon.cols(), 16);
+}
+
+TEST(Pca, CodesAreDecorrelated) {
+  data::Dataset patches = data::make_digit_patch_dataset(2000, 4, 13);
+  const Pca pca = Pca::fit(patches, 4);
+  la::Matrix x(2000, 16);
+  patches.copy_batch(0, 2000, x);
+  la::Matrix code;
+  pca.encode(x, code);
+  // Off-diagonal covariance of the codes ≈ 0.
+  for (int p = 0; p < 4; ++p) {
+    for (int q = p + 1; q < 4; ++q) {
+      double mp = 0, mq = 0;
+      for (la::Index r = 0; r < 2000; ++r) {
+        mp += code(r, p);
+        mq += code(r, q);
+      }
+      mp /= 2000;
+      mq /= 2000;
+      double cov = 0, vp = 0, vq = 0;
+      for (la::Index r = 0; r < 2000; ++r) {
+        cov += (code(r, p) - mp) * (code(r, q) - mq);
+        vp += (code(r, p) - mp) * (code(r, p) - mp);
+        vq += (code(r, q) - mq) * (code(r, q) - mq);
+      }
+      EXPECT_LT(std::fabs(cov / std::sqrt(vp * vq)), 0.02) << p << "," << q;
+    }
+  }
+}
+
+TEST(Pca, RejectsBadInputs) {
+  data::Dataset patches = data::make_digit_patch_dataset(50, 4, 15);
+  EXPECT_THROW(Pca::fit(patches, 0), util::Error);
+  EXPECT_THROW(Pca::fit(patches, 17), util::Error);
+  data::Dataset one(1, 16);
+  EXPECT_THROW(Pca::fit(one, 2), util::Error);
+  const Pca pca = Pca::fit(patches, 4);
+  la::Matrix wrong(3, 9);
+  la::Matrix code;
+  EXPECT_THROW(pca.encode(wrong, code), util::Error);
+}
+
+}  // namespace
+}  // namespace deepphi::core

@@ -1,0 +1,19 @@
+# CTest script: train a model with deepphi_train, then evaluate and export
+# codes with deepphi_eval; fail on any non-zero exit.
+execute_process(
+  COMMAND ${TRAIN} --model=sae --synthetic=digits --examples=512 --epochs=2
+          --hidden=16 --save=${WORK}/roundtrip.dpae
+  RESULT_VARIABLE train_rc)
+if(NOT train_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_train failed: ${train_rc}")
+endif()
+execute_process(
+  COMMAND ${EVAL} --model=${WORK}/roundtrip.dpae --synthetic=digits
+          --examples=256 --filters=1 --export-codes=${WORK}/roundtrip_codes.dpds
+  RESULT_VARIABLE eval_rc)
+if(NOT eval_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_eval failed: ${eval_rc}")
+endif()
+if(NOT EXISTS ${WORK}/roundtrip_codes.dpds)
+  message(FATAL_ERROR "codes were not exported")
+endif()

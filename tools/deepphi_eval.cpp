@@ -1,0 +1,175 @@
+// deepphi_eval — inspect and evaluate a trained checkpoint.
+//
+// Auto-detects the checkpoint type from its magic (DPAE / DPRB / DPSA /
+// DPDB), evaluates it on a dataset (DPDS, IDX, or synthetic), and can export
+// the encoded codes as a DPDS dataset for downstream use.
+//
+//   deepphi_eval --model=stack.dpsa --synthetic=digits --examples=1024
+//   deepphi_eval --model=sae.dpae --idx=t10k-images-idx3-ubyte --filters=3
+//   deepphi_eval --model=dbn.dpdb --data=patches.dpds --export-codes=codes.dpds
+#include <cstdio>
+#include <fstream>
+
+#include "core/metrics.hpp"
+#include "core/model_io.hpp"
+#include "data/binary_io.hpp"
+#include "data/idx_io.hpp"
+#include "data/patches.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace deepphi;
+
+std::string read_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  char magic[4];
+  in.read(magic, 4);
+  DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' too short for a checkpoint");
+  return std::string(magic, 4);
+}
+
+data::Dataset load_data(const util::Options& options) {
+  if (options.has("data")) return data::load_dataset(options.get_string("data"));
+  if (options.has("idx")) return data::load_idx_images(options.get_string("idx"));
+  const std::string synthetic = options.get_string("synthetic");
+  const la::Index examples = options.get_int("examples");
+  const la::Index patch = options.get_int("patch");
+  if (synthetic == "digits")
+    return data::make_digit_patch_dataset(examples, patch, 1);
+  if (synthetic == "natural")
+    return data::make_natural_patch_dataset(examples, patch, 1);
+  throw util::Error("unknown --synthetic '" + synthetic + "' (digits|natural)");
+}
+
+void maybe_export_codes(const util::Options& options, const la::Matrix& codes) {
+  if (!options.has("export-codes")) return;
+  const std::string path = options.get_string("export-codes");
+  data::save_dataset(data::Dataset(la::Matrix(codes)), path);
+  std::printf("codes (%lldx%lld) exported to %s\n",
+              static_cast<long long>(codes.rows()),
+              static_cast<long long>(codes.cols()), path.c_str());
+}
+
+void print_filters(const la::Matrix& w, int count) {
+  // Only renderable when the input is a square patch.
+  la::Index side = 1;
+  while (side * side < w.cols()) ++side;
+  if (side * side != w.cols()) {
+    std::printf("(input dim %lld is not square; skipping filter render)\n",
+                static_cast<long long>(w.cols()));
+    return;
+  }
+  for (int u = 0; u < count && u < w.rows(); ++u)
+    std::printf("filter %d:\n%s\n", u,
+                core::ascii_filter(w, u, side).c_str());
+}
+
+int run(int argc, char** argv) {
+  util::Options options = util::Options::parse(argc, argv);
+  options.declare("model", "checkpoint path (.dpae/.dprb/.dpsa/.dpdb)");
+  options.declare("data", "path to a DPDS dataset file");
+  options.declare("idx", "path to an IDX3 image file");
+  options.declare("synthetic", "built-in generator: digits | natural", "digits");
+  options.declare("examples", "synthetic examples to generate", "1024");
+  options.declare("patch", "synthetic patch side", "8");
+  options.declare("filters", "render this many first-layer filters as ASCII",
+                  "0");
+  options.declare("export-codes", "write the encoded dataset to this path");
+  options.declare("help", "print usage");
+  if (options.has("help")) {
+    std::printf("%s", options.help("deepphi_eval").c_str());
+    return 0;
+  }
+  options.validate();
+  DEEPPHI_CHECK_MSG(options.has("model"), "--model=<checkpoint> is required");
+
+  const std::string path = options.get_string("model");
+  const std::string magic = read_magic(path);
+  data::Dataset dataset = load_data(options);
+  const int filters = static_cast<int>(options.get_int("filters"));
+  la::Matrix x(dataset.size(), dataset.dim());
+  dataset.copy_batch(0, dataset.size(), x);
+
+  if (magic == "DPAE") {
+    core::SparseAutoencoder model = core::load_sae(path);
+    std::printf("Sparse Autoencoder %lld -> %lld (rho=%.3f beta=%.3f)\n",
+                static_cast<long long>(model.visible()),
+                static_cast<long long>(model.hidden()), model.config().rho,
+                model.config().beta);
+    std::printf("reconstruction error: %.5f\n",
+                core::reconstruction_error(model, dataset, dataset.size()));
+    std::printf("mean hidden activation: %.4f\n",
+                core::mean_hidden_activation(model, dataset, dataset.size()));
+    std::printf("localized filters: %.0f%%\n",
+                core::localized_filter_fraction(model.w1()) * 100);
+    la::Matrix codes;
+    model.encode(x, codes);
+    maybe_export_codes(options, codes);
+    if (filters > 0) print_filters(model.w1(), filters);
+  } else if (magic == "DPRB") {
+    core::Rbm model = core::load_rbm(path);
+    std::printf("RBM %lld -> %lld (cd_k=%d, %s visibles)\n",
+                static_cast<long long>(model.visible()),
+                static_cast<long long>(model.hidden()), model.config().cd_k,
+                model.config().visible_type == core::VisibleType::kGaussian
+                    ? "Gaussian"
+                    : "Bernoulli");
+    std::printf("reconstruction error: %.5f\n",
+                core::reconstruction_error(model, dataset, dataset.size()));
+    core::Rbm::Workspace ws;
+    std::printf("mean free energy: %.4f\n", model.free_energy(x, ws));
+    la::Matrix codes;
+    model.hidden_mean(x, codes);
+    maybe_export_codes(options, codes);
+    if (filters > 0) print_filters(model.w(), filters);
+  } else if (magic == "DPSA") {
+    core::StackedAutoencoder model = core::load_stacked_sae(path);
+    std::printf("Stacked Autoencoder:");
+    for (la::Index s : model.layer_sizes())
+      std::printf(" %lld", static_cast<long long>(s));
+    std::printf(" (%zu layers)\n", model.layers());
+    std::printf("layer-0 reconstruction error: %.5f\n",
+                core::reconstruction_error(model.layer(0), dataset,
+                                           dataset.size()));
+    la::Matrix codes;
+    model.encode(x, codes);
+    double mean = 0;
+    for (la::Index i = 0; i < codes.size(); ++i) mean += codes.data()[i];
+    std::printf("top code: %lldd, mean activity %.4f\n",
+                static_cast<long long>(codes.cols()),
+                mean / static_cast<double>(codes.size()));
+    maybe_export_codes(options, codes);
+    if (filters > 0) print_filters(model.layer(0).w1(), filters);
+  } else if (magic == "DPDB") {
+    core::Dbn model = core::load_dbn(path);
+    std::printf("DBN:");
+    for (la::Index s : model.layer_sizes())
+      std::printf(" %lld", static_cast<long long>(s));
+    std::printf(" (%zu RBMs)\n", model.layers());
+    std::printf("layer-0 reconstruction error: %.5f\n",
+                core::reconstruction_error(model.layer(0), dataset,
+                                           dataset.size()));
+    la::Matrix codes;
+    model.up_pass(x, codes);
+    maybe_export_codes(options, codes);
+    if (filters > 0) print_filters(model.layer(0).w(), filters);
+  } else {
+    throw util::Error("'" + path + "' has unknown checkpoint magic '" + magic +
+                      "'");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deepphi_eval: %s\n", e.what());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 1;
+  }
+}

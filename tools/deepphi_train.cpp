@@ -1,0 +1,224 @@
+// deepphi_train — command-line unsupervised pre-training.
+//
+// Train any of the paper's models on a dataset file (DPDS binary or MNIST
+// IDX) or on the built-in synthetic generators, then report metrics and
+// optionally checkpoint the result.
+//
+// Examples:
+//   # quick synthetic run
+//   deepphi_train --model=sae --synthetic=digits --examples=4096 --epochs=6
+//
+//   # stacked autoencoder on MNIST, saved for later
+//   deepphi_train --model=stack --idx=train-images-idx3-ubyte
+//                 --layers=784,256,64 --epochs=3 --save=stack.dpsa
+//
+//   # DBN with CD-2 and the Fig. 6 task graph
+//   deepphi_train --model=dbn --synthetic=natural --layers=64,32 --cd-k=2
+//                 --taskgraph
+#include <cstdio>
+
+#include "core/dbn.hpp"
+#include "core/metrics.hpp"
+#include "core/model_io.hpp"
+#include "core/stacked_autoencoder.hpp"
+#include "core/trainer.hpp"
+#include "data/binary_io.hpp"
+#include "data/idx_io.hpp"
+#include "data/patches.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace deepphi;
+
+std::vector<la::Index> parse_layers(const std::string& spec) {
+  std::vector<la::Index> sizes;
+  for (const std::string& part : util::split(spec, ','))
+    sizes.push_back(static_cast<la::Index>(util::parse_int(util::trim(part))));
+  return sizes;
+}
+
+core::OptLevel parse_level(const std::string& name) {
+  const std::string v = util::to_lower(name);
+  if (v == "baseline") return core::OptLevel::kBaseline;
+  if (v == "openmp") return core::OptLevel::kOpenMp;
+  if (v == "openmp+mkl" || v == "mkl") return core::OptLevel::kOpenMpMkl;
+  if (v == "improved") return core::OptLevel::kImproved;
+  throw util::Error("unknown --level '" + name +
+                    "' (baseline|openmp|openmp+mkl|improved)");
+}
+
+core::OptimizerKind parse_optimizer(const std::string& name) {
+  const std::string v = util::to_lower(name);
+  if (v == "sgd") return core::OptimizerKind::kSgd;
+  if (v == "momentum") return core::OptimizerKind::kMomentum;
+  if (v == "adagrad") return core::OptimizerKind::kAdagrad;
+  throw util::Error("unknown --optimizer '" + name + "' (sgd|momentum|adagrad)");
+}
+
+data::Dataset load_data(const util::Options& options) {
+  if (options.has("data")) return data::load_dataset(options.get_string("data"));
+  if (options.has("idx")) return data::load_idx_images(options.get_string("idx"));
+  const std::string synthetic = options.get_string("synthetic");
+  const la::Index examples = options.get_int("examples");
+  const la::Index patch = options.get_int("patch");
+  const std::uint64_t seed = options.get_int("seed");
+  if (synthetic == "digits")
+    return data::make_digit_patch_dataset(examples, patch, seed);
+  if (synthetic == "natural")
+    return data::make_natural_patch_dataset(examples, patch, seed);
+  throw util::Error("unknown --synthetic '" + synthetic + "' (digits|natural)");
+}
+
+void print_report(const char* label, const core::TrainReport& report) {
+  std::printf("%s: %lld batches / %lld chunks, cost %.5f -> %.5f, %.2fs wall\n",
+              label, static_cast<long long>(report.batches),
+              static_cast<long long>(report.chunks),
+              report.chunk_mean_costs.front(), report.chunk_mean_costs.back(),
+              report.wall_seconds);
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  using namespace deepphi;
+  util::Options options = util::Options::parse(argc, argv);
+  options.declare("model", "sae | rbm | stack | dbn", "sae");
+  options.declare("data", "path to a DPDS dataset file");
+  options.declare("idx", "path to an IDX3 image file (e.g. MNIST)");
+  options.declare("synthetic", "built-in generator: digits | natural", "digits");
+  options.declare("examples", "synthetic examples to generate", "4096");
+  options.declare("patch", "synthetic patch side (dim = patch^2)", "8");
+  options.declare("layers", "comma-separated layer sizes (first = input dim)",
+                  "");
+  options.declare("hidden", "hidden units for sae/rbm", "32");
+  options.declare("batch", "mini-batch size", "128");
+  options.declare("chunk", "chunk size (examples per device load)", "2048");
+  options.declare("epochs", "training epochs", "6");
+  options.declare("lr", "learning rate", "0.3");
+  options.declare("optimizer", "sgd | momentum | adagrad", "sgd");
+  options.declare("level", "baseline | openmp | openmp+mkl | improved",
+                  "improved");
+  options.declare("cd-k", "contrastive divergence steps (rbm/dbn)", "1");
+  options.declare("gaussian-visible", "Gaussian visible units (rbm/dbn)");
+  options.declare("taskgraph", "run the RBM step as the Fig. 6 task graph");
+  options.declare("tied", "tied weights W2 = W1^T (sae/stack)");
+  options.declare("rho", "sparsity target (sae/stack)", "0.05");
+  options.declare("beta", "sparsity weight (sae/stack)", "1.0");
+  options.declare("lambda", "weight decay (sae/stack)", "1e-4");
+  options.declare("seed", "random seed", "42");
+  options.declare("save", "checkpoint path to write the trained model");
+  options.declare("help", "print usage");
+  if (options.has("help")) {
+    std::printf("%s", options.help("deepphi_train").c_str());
+    return 0;
+  }
+  options.validate();
+
+  data::Dataset dataset = load_data(options);
+  std::printf("dataset: %lld examples of dim %lld\n",
+              static_cast<long long>(dataset.size()),
+              static_cast<long long>(dataset.dim()));
+
+  core::TrainerConfig tcfg;
+  tcfg.batch_size = options.get_int("batch");
+  tcfg.chunk_examples = std::max<la::Index>(options.get_int("chunk"),
+                                            tcfg.batch_size);
+  tcfg.epochs = static_cast<int>(options.get_int("epochs"));
+  tcfg.level = parse_level(options.get_string("level"));
+  tcfg.policy = core::ExecPolicy::kPhiOffload;
+  tcfg.use_taskgraph = options.has("taskgraph");
+  tcfg.optimizer.kind = parse_optimizer(options.get_string("optimizer"));
+  tcfg.optimizer.lr = static_cast<float>(options.get_double("lr"));
+  tcfg.seed = static_cast<std::uint64_t>(options.get_int("seed"));
+
+  const std::string model_kind = options.get_string("model");
+  const std::uint64_t seed = tcfg.seed;
+  core::Trainer trainer(tcfg);
+
+  if (model_kind == "sae") {
+    core::SaeConfig cfg;
+    cfg.visible = dataset.dim();
+    cfg.hidden = options.get_int("hidden");
+    cfg.rho = static_cast<float>(options.get_double("rho"));
+    cfg.beta = static_cast<float>(options.get_double("beta"));
+    cfg.lambda = static_cast<float>(options.get_double("lambda"));
+    cfg.tied_weights = options.has("tied");
+    core::SparseAutoencoder model(cfg, seed);
+    print_report("sae", trainer.train(model, dataset));
+    std::printf("reconstruction error: %.5f, mean activation: %.4f\n",
+                core::reconstruction_error(model, dataset),
+                core::mean_hidden_activation(model, dataset));
+    if (options.has("save")) {
+      core::save_model(model, options.get_string("save"));
+      std::printf("saved to %s\n", options.get_string("save").c_str());
+    }
+  } else if (model_kind == "rbm") {
+    core::RbmConfig cfg;
+    cfg.visible = dataset.dim();
+    cfg.hidden = options.get_int("hidden");
+    cfg.cd_k = static_cast<int>(options.get_int("cd-k"));
+    if (options.has("gaussian-visible"))
+      cfg.visible_type = core::VisibleType::kGaussian;
+    core::Rbm model(cfg, seed);
+    print_report("rbm", trainer.train(model, dataset));
+    std::printf("reconstruction error: %.5f\n",
+                core::reconstruction_error(model, dataset));
+    if (options.has("save")) {
+      core::save_model(model, options.get_string("save"));
+      std::printf("saved to %s\n", options.get_string("save").c_str());
+    }
+  } else if (model_kind == "stack") {
+    const std::string spec = options.get_string("layers");
+    DEEPPHI_CHECK_MSG(!spec.empty(), "--model=stack needs --layers=a,b,c");
+    core::SaeConfig proto;
+    proto.rho = static_cast<float>(options.get_double("rho"));
+    proto.beta = static_cast<float>(options.get_double("beta"));
+    proto.lambda = static_cast<float>(options.get_double("lambda"));
+    proto.tied_weights = options.has("tied");
+    core::StackedAutoencoder model(parse_layers(spec), proto, seed);
+    DEEPPHI_CHECK_MSG(model.layer_sizes().front() == dataset.dim(),
+                      "--layers first entry must equal the dataset dim");
+    const auto reports = model.pretrain(dataset, tcfg);
+    for (std::size_t k = 0; k < reports.size(); ++k)
+      print_report(("stack layer " + std::to_string(k)).c_str(), reports[k]);
+    if (options.has("save")) {
+      core::save_model(model, options.get_string("save"));
+      std::printf("saved to %s\n", options.get_string("save").c_str());
+    }
+  } else if (model_kind == "dbn") {
+    const std::string spec = options.get_string("layers");
+    DEEPPHI_CHECK_MSG(!spec.empty(), "--model=dbn needs --layers=a,b,c");
+    core::RbmConfig proto;
+    proto.cd_k = static_cast<int>(options.get_int("cd-k"));
+    if (options.has("gaussian-visible"))
+      proto.visible_type = core::VisibleType::kGaussian;
+    core::Dbn model(parse_layers(spec), proto, seed);
+    DEEPPHI_CHECK_MSG(model.layer_sizes().front() == dataset.dim(),
+                      "--layers first entry must equal the dataset dim");
+    const auto reports = model.pretrain(dataset, tcfg);
+    for (std::size_t k = 0; k < reports.size(); ++k)
+      print_report(("dbn layer " + std::to_string(k)).c_str(), reports[k]);
+    if (options.has("save")) {
+      core::save_model(model, options.get_string("save"));
+      std::printf("saved to %s\n", options.get_string("save").c_str());
+    }
+  } else {
+    throw util::Error("unknown --model '" + model_kind +
+                      "' (sae|rbm|stack|dbn)");
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "deepphi_train: %s\n", e.what());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 1;
+  }
+}
