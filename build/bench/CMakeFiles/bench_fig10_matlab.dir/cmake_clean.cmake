@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_matlab.dir/bench_fig10_matlab.cpp.o"
+  "CMakeFiles/bench_fig10_matlab.dir/bench_fig10_matlab.cpp.o.d"
+  "bench_fig10_matlab"
+  "bench_fig10_matlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_matlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

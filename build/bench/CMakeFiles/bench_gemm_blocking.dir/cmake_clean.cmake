@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gemm_blocking.dir/bench_gemm_blocking.cpp.o"
+  "CMakeFiles/bench_gemm_blocking.dir/bench_gemm_blocking.cpp.o.d"
+  "bench_gemm_blocking"
+  "bench_gemm_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_split.dir/bench_hybrid_split.cpp.o"
+  "CMakeFiles/bench_hybrid_split.dir/bench_hybrid_split.cpp.o.d"
+  "bench_hybrid_split"
+  "bench_hybrid_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_sgd.dir/bench_online_sgd.cpp.o"
+  "CMakeFiles/bench_online_sgd.dir/bench_online_sgd.cpp.o.d"
+  "bench_online_sgd"
+  "bench_online_sgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pca_vs_autoencoder.dir/bench_pca_vs_autoencoder.cpp.o"
+  "CMakeFiles/bench_pca_vs_autoencoder.dir/bench_pca_vs_autoencoder.cpp.o.d"
+  "bench_pca_vs_autoencoder"
+  "bench_pca_vs_autoencoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pca_vs_autoencoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pca_vs_autoencoder.
+# This may be replaced when dependencies are built.

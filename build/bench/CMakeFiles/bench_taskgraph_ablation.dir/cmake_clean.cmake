@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taskgraph_ablation.dir/bench_taskgraph_ablation.cpp.o"
+  "CMakeFiles/bench_taskgraph_ablation.dir/bench_taskgraph_ablation.cpp.o.d"
+  "bench_taskgraph_ablation"
+  "bench_taskgraph_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taskgraph_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

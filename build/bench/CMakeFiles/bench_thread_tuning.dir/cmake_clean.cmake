@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thread_tuning.dir/bench_thread_tuning.cpp.o"
+  "CMakeFiles/bench_thread_tuning.dir/bench_thread_tuning.cpp.o.d"
+  "bench_thread_tuning"
+  "bench_thread_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thread_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepphi_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/deepphi_bench_common.dir/bench_common.cpp.o.d"
+  "libdeepphi_bench_common.a"
+  "libdeepphi_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepphi_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

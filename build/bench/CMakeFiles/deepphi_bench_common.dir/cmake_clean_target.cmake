@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepphi_bench_common.a"
+)

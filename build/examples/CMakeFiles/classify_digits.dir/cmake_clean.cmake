@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_digits.dir/classify_digits.cpp.o"
+  "CMakeFiles/classify_digits.dir/classify_digits.cpp.o.d"
+  "classify_digits"
+  "classify_digits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_digits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbn_natural.dir/dbn_natural.cpp.o"
+  "CMakeFiles/dbn_natural.dir/dbn_natural.cpp.o.d"
+  "dbn_natural"
+  "dbn_natural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbn_natural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_features.dir/digit_features.cpp.o"
+  "CMakeFiles/digit_features.dir/digit_features.cpp.o.d"
+  "digit_features"
+  "digit_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

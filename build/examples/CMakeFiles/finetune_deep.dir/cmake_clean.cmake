@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_deep.dir/finetune_deep.cpp.o"
+  "CMakeFiles/finetune_deep.dir/finetune_deep.cpp.o.d"
+  "finetune_deep"
+  "finetune_deep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

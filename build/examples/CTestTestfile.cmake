@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--examples=1024" "--epochs=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_digit_features "/root/repo/build/examples/digit_features" "--examples=1024" "--epochs=2")
+set_tests_properties(example_digit_features PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dbn_natural "/root/repo/build/examples/dbn_natural" "--examples=1024" "--epochs=2")
+set_tests_properties(example_dbn_natural PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_offload_pipeline "/root/repo/build/examples/offload_pipeline" "--examples=2048")
+set_tests_properties(example_offload_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_finetune_deep "/root/repo/build/examples/finetune_deep" "--examples=1024" "--epochs=2")
+set_tests_properties(example_finetune_deep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_classify_digits "/root/repo/build/examples/classify_digits" "--train=1024" "--labeled=64" "--test=256")
+set_tests_properties(example_classify_digits PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

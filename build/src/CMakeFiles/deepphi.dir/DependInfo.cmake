@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/matlab_like.cpp" "src/CMakeFiles/deepphi.dir/baseline/matlab_like.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/baseline/matlab_like.cpp.o.d"
+  "/root/repo/src/baseline/naive_gemm.cpp" "src/CMakeFiles/deepphi.dir/baseline/naive_gemm.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/baseline/naive_gemm.cpp.o.d"
+  "/root/repo/src/baseline/seq_autoencoder.cpp" "src/CMakeFiles/deepphi.dir/baseline/seq_autoencoder.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/baseline/seq_autoencoder.cpp.o.d"
+  "/root/repo/src/baseline/seq_rbm.cpp" "src/CMakeFiles/deepphi.dir/baseline/seq_rbm.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/baseline/seq_rbm.cpp.o.d"
+  "/root/repo/src/core/autoencoder_loops.cpp" "src/CMakeFiles/deepphi.dir/core/autoencoder_loops.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/autoencoder_loops.cpp.o.d"
+  "/root/repo/src/core/batch_opt.cpp" "src/CMakeFiles/deepphi.dir/core/batch_opt.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/batch_opt.cpp.o.d"
+  "/root/repo/src/core/cg.cpp" "src/CMakeFiles/deepphi.dir/core/cg.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/cg.cpp.o.d"
+  "/root/repo/src/core/cost_accounting.cpp" "src/CMakeFiles/deepphi.dir/core/cost_accounting.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/cost_accounting.cpp.o.d"
+  "/root/repo/src/core/dbn.cpp" "src/CMakeFiles/deepphi.dir/core/dbn.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/dbn.cpp.o.d"
+  "/root/repo/src/core/deep_autoencoder.cpp" "src/CMakeFiles/deepphi.dir/core/deep_autoencoder.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/deep_autoencoder.cpp.o.d"
+  "/root/repo/src/core/denoising.cpp" "src/CMakeFiles/deepphi.dir/core/denoising.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/denoising.cpp.o.d"
+  "/root/repo/src/core/gradient_buffers.cpp" "src/CMakeFiles/deepphi.dir/core/gradient_buffers.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/gradient_buffers.cpp.o.d"
+  "/root/repo/src/core/init.cpp" "src/CMakeFiles/deepphi.dir/core/init.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/init.cpp.o.d"
+  "/root/repo/src/core/lbfgs.cpp" "src/CMakeFiles/deepphi.dir/core/lbfgs.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/lbfgs.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/deepphi.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/CMakeFiles/deepphi.dir/core/model_io.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/model_io.cpp.o.d"
+  "/root/repo/src/core/online_sgd.cpp" "src/CMakeFiles/deepphi.dir/core/online_sgd.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/online_sgd.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/CMakeFiles/deepphi.dir/core/optimizer.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/pca.cpp" "src/CMakeFiles/deepphi.dir/core/pca.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/pca.cpp.o.d"
+  "/root/repo/src/core/rbm.cpp" "src/CMakeFiles/deepphi.dir/core/rbm.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/rbm.cpp.o.d"
+  "/root/repo/src/core/rbm_loops.cpp" "src/CMakeFiles/deepphi.dir/core/rbm_loops.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/rbm_loops.cpp.o.d"
+  "/root/repo/src/core/rbm_taskgraph.cpp" "src/CMakeFiles/deepphi.dir/core/rbm_taskgraph.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/rbm_taskgraph.cpp.o.d"
+  "/root/repo/src/core/softmax.cpp" "src/CMakeFiles/deepphi.dir/core/softmax.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/softmax.cpp.o.d"
+  "/root/repo/src/core/sparse_autoencoder.cpp" "src/CMakeFiles/deepphi.dir/core/sparse_autoencoder.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/sparse_autoencoder.cpp.o.d"
+  "/root/repo/src/core/stacked_autoencoder.cpp" "src/CMakeFiles/deepphi.dir/core/stacked_autoencoder.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/stacked_autoencoder.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/deepphi.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/data/batch_iterator.cpp" "src/CMakeFiles/deepphi.dir/data/batch_iterator.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/batch_iterator.cpp.o.d"
+  "/root/repo/src/data/binary_io.cpp" "src/CMakeFiles/deepphi.dir/data/binary_io.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/binary_io.cpp.o.d"
+  "/root/repo/src/data/chunk_stream.cpp" "src/CMakeFiles/deepphi.dir/data/chunk_stream.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/chunk_stream.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/deepphi.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/digits.cpp" "src/CMakeFiles/deepphi.dir/data/digits.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/digits.cpp.o.d"
+  "/root/repo/src/data/idx_io.cpp" "src/CMakeFiles/deepphi.dir/data/idx_io.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/idx_io.cpp.o.d"
+  "/root/repo/src/data/natural.cpp" "src/CMakeFiles/deepphi.dir/data/natural.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/natural.cpp.o.d"
+  "/root/repo/src/data/patches.cpp" "src/CMakeFiles/deepphi.dir/data/patches.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/data/patches.cpp.o.d"
+  "/root/repo/src/la/blas1.cpp" "src/CMakeFiles/deepphi.dir/la/blas1.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/la/blas1.cpp.o.d"
+  "/root/repo/src/la/blas2.cpp" "src/CMakeFiles/deepphi.dir/la/blas2.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/la/blas2.cpp.o.d"
+  "/root/repo/src/la/elementwise.cpp" "src/CMakeFiles/deepphi.dir/la/elementwise.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/la/elementwise.cpp.o.d"
+  "/root/repo/src/la/gemm.cpp" "src/CMakeFiles/deepphi.dir/la/gemm.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/la/gemm.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/CMakeFiles/deepphi.dir/la/matrix.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/la/matrix.cpp.o.d"
+  "/root/repo/src/la/reduce.cpp" "src/CMakeFiles/deepphi.dir/la/reduce.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/la/reduce.cpp.o.d"
+  "/root/repo/src/la/transpose.cpp" "src/CMakeFiles/deepphi.dir/la/transpose.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/la/transpose.cpp.o.d"
+  "/root/repo/src/parallel/parallel_for.cpp" "src/CMakeFiles/deepphi.dir/parallel/parallel_for.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/parallel/parallel_for.cpp.o.d"
+  "/root/repo/src/parallel/pipeline.cpp" "src/CMakeFiles/deepphi.dir/parallel/pipeline.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/parallel/pipeline.cpp.o.d"
+  "/root/repo/src/parallel/task_graph.cpp" "src/CMakeFiles/deepphi.dir/parallel/task_graph.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/parallel/task_graph.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/deepphi.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/phi/cost_model.cpp" "src/CMakeFiles/deepphi.dir/phi/cost_model.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/phi/cost_model.cpp.o.d"
+  "/root/repo/src/phi/device.cpp" "src/CMakeFiles/deepphi.dir/phi/device.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/phi/device.cpp.o.d"
+  "/root/repo/src/phi/kernel_stats.cpp" "src/CMakeFiles/deepphi.dir/phi/kernel_stats.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/phi/kernel_stats.cpp.o.d"
+  "/root/repo/src/phi/machine_spec.cpp" "src/CMakeFiles/deepphi.dir/phi/machine_spec.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/phi/machine_spec.cpp.o.d"
+  "/root/repo/src/phi/offload.cpp" "src/CMakeFiles/deepphi.dir/phi/offload.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/phi/offload.cpp.o.d"
+  "/root/repo/src/phi/trace.cpp" "src/CMakeFiles/deepphi.dir/phi/trace.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/phi/trace.cpp.o.d"
+  "/root/repo/src/phi/tuning.cpp" "src/CMakeFiles/deepphi.dir/phi/tuning.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/phi/tuning.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/deepphi.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/deepphi.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/deepphi.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/deepphi.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/deepphi.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/deepphi.dir/util/string_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

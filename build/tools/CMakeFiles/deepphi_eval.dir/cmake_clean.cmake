@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepphi_eval.dir/deepphi_eval.cpp.o"
+  "CMakeFiles/deepphi_eval.dir/deepphi_eval.cpp.o.d"
+  "deepphi_eval"
+  "deepphi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepphi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

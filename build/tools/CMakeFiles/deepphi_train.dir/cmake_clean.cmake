@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepphi_train.dir/deepphi_train.cpp.o"
+  "CMakeFiles/deepphi_train.dir/deepphi_train.cpp.o.d"
+  "deepphi_train"
+  "deepphi_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepphi_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_sae_synthetic "/root/repo/build/tools/deepphi_train" "--model=sae" "--synthetic=digits" "--examples=512" "--epochs=2" "--hidden=16")
+set_tests_properties(cli_sae_synthetic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rbm_gaussian "/root/repo/build/tools/deepphi_train" "--model=rbm" "--synthetic=natural" "--examples=512" "--epochs=2" "--hidden=16" "--gaussian-visible")
+set_tests_properties(cli_rbm_gaussian PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stack_save_load "/root/repo/build/tools/deepphi_train" "--model=stack" "--synthetic=digits" "--examples=512" "--epochs=1" "--layers=64,16" "--save=/root/repo/build/tools/cli_stack.dpsa")
+set_tests_properties(cli_stack_save_load PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dbn_taskgraph "/root/repo/build/tools/deepphi_train" "--model=dbn" "--synthetic=digits" "--examples=512" "--epochs=1" "--layers=64,16" "--taskgraph")
+set_tests_properties(cli_dbn_taskgraph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/deepphi_train" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_flag "/root/repo/build/tools/deepphi_train" "--bogus=1")
+set_tests_properties(cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_model "/root/repo/build/tools/deepphi_train" "--model=nonsense")
+set_tests_properties(cli_rejects_bad_model PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_eval_roundtrip "/usr/bin/cmake" "-DTRAIN=/root/repo/build/tools/deepphi_train" "-DEVAL=/root/repo/build/tools/deepphi_eval" "-DWORK=/root/repo/build/tools" "-P" "/root/repo/tools/cli_roundtrip_test.cmake")
+set_tests_properties(cli_eval_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_eval_missing_model "/root/repo/build/tools/deepphi_eval" "--synthetic=digits")
+set_tests_properties(cli_eval_missing_model PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
