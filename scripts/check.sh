@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitized build + test run: configures a separate build tree with
+# DEEPPHI_SANITIZE=ON (ASan + UBSan), builds the library and tests, and runs
+# ctest. Benchmarks and examples are skipped — the sanitizers slow them to a
+# crawl and the tests already cover the kernels they exercise.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDEEPPHI_SANITIZE=ON \
+  -DDEEPPHI_BUILD_BENCH=OFF \
+  -DDEEPPHI_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

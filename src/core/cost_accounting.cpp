@@ -7,6 +7,7 @@ namespace deepphi::core {
 namespace {
 
 using phi::KernelStats;
+using phi::epilogue_contribution;
 using phi::gemm_contribution;
 using phi::loop_contribution;
 using phi::naive_gemm_contribution;
@@ -29,7 +30,7 @@ KernelStats sae_matrix_gradient(const SaeShape& s, bool fused) {
   // forward: y = sigmoid(x·W1ᵀ + b1)
   k += gemm_contribution(b, h, v);
   if (fused) {
-    k += loop_contribution(b * h, 9.0, 1.0, 1.0);  // bias_sigmoid
+    k += epilogue_contribution(b * h, 9.0, 0.0);  // bias_sigmoid epilogue
   } else {
     k += naive_loop_contribution(b * h, 1.0, 1, 1);    // add_row_broadcast
     k += naive_loop_contribution(b * h, 400.0, 1, 1);  // sigmoid_inplace (scalar exp)
@@ -37,7 +38,7 @@ KernelStats sae_matrix_gradient(const SaeShape& s, bool fused) {
   // forward: z = sigmoid(y·W2ᵀ + b2)
   k += gemm_contribution(b, v, h);
   if (fused) {
-    k += loop_contribution(b * v, 9.0, 1.0, 1.0);
+    k += epilogue_contribution(b * v, 9.0, 0.0);
   } else {
     k += naive_loop_contribution(b * v, 1.0, 1, 1);
     k += naive_loop_contribution(b * v, 400.0, 1, 1);
@@ -64,7 +65,7 @@ KernelStats sae_matrix_gradient(const SaeShape& s, bool fused) {
   k += gemm_contribution(b, h, v);               // delta2·W2
   k += loop_contribution(h, 6.0, 1.0, 1.0);      // sparsity_delta
   if (fused) {
-    k += loop_contribution(b * h, 4.0, 2.0, 1.0);  // hidden_delta
+    k += epilogue_contribution(b * h, 4.0, 1.0);  // bias_dsigmoid_mul (reads y)
   } else {
     k += naive_loop_contribution(b * h, 1.0, 1, 1);  // add_row_broadcast
     k += naive_loop_contribution(b * h, 3.0, 2, 1);  // dsigmoid_mul
@@ -139,11 +140,15 @@ KernelStats rbm_matrix_gradient(const RbmShape& s, bool fused) {
   for (int step = 0; step < s.cd_k; ++step) {
     k += gemm_contribution(b, v, h);  // v2 pre-activation
     if (s.gaussian_visible) {
-      k += loop_contribution(b * v, 1.0, 1.0, 1.0);  // add_row_broadcast_vec
+      if (fused) {
+        k += epilogue_contribution(b * v, 1.0, 0.0);  // bias_add epilogue
+      } else {
+        k += loop_contribution(b * v, 1.0, 1.0, 1.0);  // add_row_broadcast_vec
+      }
       if (s.sample_visible) k += loop_contribution(b * v, 15.0, 1.0, 1.0);
     } else {
       if (fused) {
-        k += loop_contribution(b * v, 9.0, 1.0, 1.0);
+        k += epilogue_contribution(b * v, 9.0, 0.0);
       } else {
         k += naive_loop_contribution(b * v, 1.0, 1, 1);
         k += naive_loop_contribution(b * v, 400.0, 1, 1);
@@ -162,7 +167,7 @@ KernelStats rbm_matrix_gradient(const RbmShape& s, bool fused) {
       }
     } else {
       if (fused) {
-        k += loop_contribution(b * h, 9.0, 1.0, 1.0);
+        k += epilogue_contribution(b * h, 9.0, 0.0);
       } else {
         k += naive_loop_contribution(b * h, 1.0, 1, 1);
         k += naive_loop_contribution(b * h, 400.0, 1, 1);
@@ -194,11 +199,11 @@ KernelStats rbm_taskgraph_gradient(const RbmShape& s) {
   k += gemm_contribution(h, v, b);                // gw_pos
   k += loop_contribution(b * h, 1.0, 1.0, 0.0);   // gc_pos
   k += gemm_contribution(b, v, h);                // v2 gemm
-  k += loop_contribution(b * v, 9.0, 1.0, 1.0);   // v2 bias_sigmoid
+  k += epilogue_contribution(b * v, 9.0, 0.0);    // v2 bias_sigmoid epilogue
   k += loop_contribution(b * v, 1.0, 1.0, 0.0);   // gb_neg
   k += loop_contribution(b * v, 3.0, 2.0, 0.0);   // recon
   k += gemm_contribution(b, h, v);                // h2 gemm
-  k += loop_contribution(b * h, 9.0, 1.0, 1.0);   // h2 bias_sigmoid
+  k += epilogue_contribution(b * h, 9.0, 0.0);    // h2 bias_sigmoid epilogue
   k += gemm_contribution(h, v, b);                // gw_neg
   k += loop_contribution(b * h, 1.0, 1.0, 0.0);   // gc_neg
   // combine: axpy+scal per parameter

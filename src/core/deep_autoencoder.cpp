@@ -43,8 +43,8 @@ void DeepAutoencoder::forward(const la::Matrix& x, Workspace& ws) const {
     la::Matrix& act = ws.acts[l];
     if (act.rows() != x.rows() || act.cols() != layers_[l].w.rows())
       act = la::Matrix::uninitialized(x.rows(), layers_[l].w.rows());
-    la::gemm_nt(1.0f, *prev, layers_[l].w, 0.0f, act);
-    la::bias_sigmoid(act, layers_[l].b);
+    la::gemm_nt(1.0f, *prev, layers_[l].w, 0.0f, act,
+                la::GemmEpilogue::bias_sigmoid(layers_[l].b));
     prev = &act;
   }
 }
@@ -63,8 +63,8 @@ void DeepAutoencoder::encode(const la::Matrix& x, la::Matrix& out) const {
   la::Matrix next;
   for (std::size_t l = 0; l < encoder_layers; ++l) {
     next = la::Matrix::uninitialized(x.rows(), layers_[l].w.rows());
-    la::gemm_nt(1.0f, current, layers_[l].w, 0.0f, next);
-    la::bias_sigmoid(next, layers_[l].b);
+    la::gemm_nt(1.0f, current, layers_[l].w, 0.0f, next,
+                la::GemmEpilogue::bias_sigmoid(layers_[l].b));
     current = std::move(next);
   }
   out = std::move(current);
@@ -113,8 +113,8 @@ double DeepAutoencoder::gradient(const la::Matrix& x, Workspace& ws,
       la::Matrix& prev_delta = ws.deltas[l - 1];
       if (prev_delta.rows() != m || prev_delta.cols() != layers_[l].w.cols())
         prev_delta = la::Matrix::uninitialized(m, layers_[l].w.cols());
-      la::gemm_nn(1.0f, delta, layers_[l].w, 0.0f, prev_delta);
-      la::dsigmoid_mul_inplace(prev_delta, ws.acts[l - 1]);
+      la::gemm_nn(1.0f, delta, layers_[l].w, 0.0f, prev_delta,
+                  la::GemmEpilogue::dsigmoid_mul(ws.acts[l - 1]));
     }
   }
   return cost;

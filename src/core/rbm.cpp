@@ -44,8 +44,7 @@ void Rbm::hidden_mean(const la::Matrix& v, la::Matrix& h) const {
                     "input dim " << v.cols() << " != visible " << config_.visible);
   if (h.rows() != v.rows() || h.cols() != config_.hidden)
     h = la::Matrix::uninitialized(v.rows(), config_.hidden);
-  la::gemm_nt(1.0f, v, w_, 0.0f, h);
-  la::bias_sigmoid(h, c_);
+  la::gemm_nt(1.0f, v, w_, 0.0f, h, la::GemmEpilogue::bias_sigmoid(c_));
 }
 
 void Rbm::visible_mean(const la::Matrix& h, la::Matrix& v) const {
@@ -53,11 +52,11 @@ void Rbm::visible_mean(const la::Matrix& h, la::Matrix& v) const {
                     "input dim " << h.cols() << " != hidden " << config_.hidden);
   if (v.rows() != h.rows() || v.cols() != config_.visible)
     v = la::Matrix::uninitialized(h.rows(), config_.visible);
-  la::gemm_nn(1.0f, h, w_, 0.0f, v);
   if (config_.visible_type == VisibleType::kGaussian) {
-    la::add_row_broadcast_vec(v, b_);  // linear mean, unit variance
+    // Linear mean, unit variance.
+    la::gemm_nn(1.0f, h, w_, 0.0f, v, la::GemmEpilogue::bias_add(b_));
   } else {
-    la::bias_sigmoid(v, b_);
+    la::gemm_nn(1.0f, h, w_, 0.0f, v, la::GemmEpilogue::bias_sigmoid(b_));
   }
 }
 
@@ -85,16 +84,23 @@ double Rbm::gradient(const la::Matrix& v1, Workspace& ws, RbmGradients& grads,
     // v2 = sigmoid(h·W + b) with the current hidden sample (the chain
     // resamples into h1_sample); mean field by default, sampled when
     // configured.
-    la::gemm_nn(1.0f, ws.h1_sample, w_, 0.0f, ws.v2);
     if (config_.visible_type == VisibleType::kGaussian) {
       // Linear visible mean (unit variance); sampling adds N(0, 1).
-      la::add_row_broadcast_vec(ws.v2, b_);
+      if (fused) {
+        la::gemm_nn(1.0f, ws.h1_sample, w_, 0.0f, ws.v2,
+                    la::GemmEpilogue::bias_add(b_));
+      } else {
+        la::gemm_nn(1.0f, ws.h1_sample, w_, 0.0f, ws.v2);
+        la::add_row_broadcast_vec(ws.v2, b_);
+      }
       if (config_.sample_visible)
         la::add_gaussian_noise(ws.v2, 1.0f, rng.split(100 + step));
     } else {
       if (fused) {
-        la::bias_sigmoid(ws.v2, b_);
+        la::gemm_nn(1.0f, ws.h1_sample, w_, 0.0f, ws.v2,
+                    la::GemmEpilogue::bias_sigmoid(b_));
       } else {
+        la::gemm_nn(1.0f, ws.h1_sample, w_, 0.0f, ws.v2);
         la::add_row_broadcast(ws.v2, b_);
         la::sigmoid_inplace(ws.v2);
       }
@@ -103,9 +109,11 @@ double Rbm::gradient(const la::Matrix& v1, Workspace& ws, RbmGradients& grads,
     }
 
     // h2 = sigmoid(v2·Wᵀ + c); resample into h1_sample when the chain
-    // continues (CD-k uses the *mean* at the final step).
-    la::gemm_nt(1.0f, ws.v2, w_, 0.0f, ws.h2_mean);
+    // continues (CD-k uses the *mean* at the final step). The sampling
+    // variant cannot run as a GEMM epilogue — its per-row RNG substreams
+    // need sequential column order — so only the final mean step fuses.
     if (step + 1 < config_.cd_k) {
+      la::gemm_nt(1.0f, ws.v2, w_, 0.0f, ws.h2_mean);
       if (fused) {
         la::bias_sigmoid_sample(ws.h2_mean, c_, ws.h1_sample,
                                 rng.split(200 + step));
@@ -116,8 +124,10 @@ double Rbm::gradient(const la::Matrix& v1, Workspace& ws, RbmGradients& grads,
       }
     } else {
       if (fused) {
-        la::bias_sigmoid(ws.h2_mean, c_);
+        la::gemm_nt(1.0f, ws.v2, w_, 0.0f, ws.h2_mean,
+                    la::GemmEpilogue::bias_sigmoid(c_));
       } else {
+        la::gemm_nt(1.0f, ws.v2, w_, 0.0f, ws.h2_mean);
         la::add_row_broadcast(ws.h2_mean, c_);
         la::sigmoid_inplace(ws.h2_mean);
       }

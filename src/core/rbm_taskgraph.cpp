@@ -57,8 +57,8 @@ void RbmTaskGraphStep::build_graph() {
     la::col_sum(ws_->h1_mean, c_pos_);
   });
   const auto n_v2 = add("v2: sigmoid(h1s*W+b)", [this] {
-    la::gemm_nn(1.0f, ws_->h1_sample, model_.w(), 0.0f, ws_->v2);
-    la::bias_sigmoid(ws_->v2, model_.b());
+    la::gemm_nn(1.0f, ws_->h1_sample, model_.w(), 0.0f, ws_->v2,
+                la::GemmEpilogue::bias_sigmoid(model_.b()));
   });
   const auto n_gb_neg = add("gb_neg: colsum(v2)", [this] {
     la::col_sum(ws_->v2, b_neg_);
@@ -68,8 +68,8 @@ void RbmTaskGraphStep::build_graph() {
         la::sum_sq_diff(*v1_, ws_->v2) / static_cast<double>(v1_->rows());
   });
   const auto n_h2 = add("h2: sigmoid(v2*W^T+c)", [this] {
-    la::gemm_nt(1.0f, ws_->v2, model_.w(), 0.0f, ws_->h2_mean);
-    la::bias_sigmoid(ws_->h2_mean, model_.c());
+    la::gemm_nt(1.0f, ws_->v2, model_.w(), 0.0f, ws_->h2_mean,
+                la::GemmEpilogue::bias_sigmoid(model_.c()));
   });
   const auto n_gw_neg = add("gw_neg: h2^T*v2", [this] {
     la::gemm_tn(1.0f, ws_->h2_mean, ws_->v2, 0.0f, gw_neg_);

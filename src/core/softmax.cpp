@@ -55,8 +55,7 @@ void SoftmaxClassifier::probabilities(const la::Matrix& x,
                     "input dim " << x.cols() << " != " << config_.dim);
   if (probs.rows() != x.rows() || probs.cols() != config_.classes)
     probs = la::Matrix::uninitialized(x.rows(), config_.classes);
-  la::gemm_nt(1.0f, x, w_, 0.0f, probs);
-  la::add_row_broadcast_vec(probs, b_);
+  la::gemm_nt(1.0f, x, w_, 0.0f, probs, la::GemmEpilogue::bias_add(b_));
   softmax_rows(probs);
 }
 

@@ -51,19 +51,20 @@ void SparseAutoencoder::forward(const la::Matrix& x, Workspace& ws,
   ws.ensure(x.rows(), config_.visible, config_.hidden);
 
   // y = sigmoid(x·W1ᵀ + b1)
-  la::gemm_nt(1.0f, x, w1_, 0.0f, ws.y);
   if (fused) {
-    la::bias_sigmoid(ws.y, b1_);
+    la::gemm_nt(1.0f, x, w1_, 0.0f, ws.y, la::GemmEpilogue::bias_sigmoid(b1_));
   } else {
+    la::gemm_nt(1.0f, x, w1_, 0.0f, ws.y);
     la::add_row_broadcast(ws.y, b1_);
     la::sigmoid_inplace(ws.y);
   }
 
   // z = sigmoid(y·W2ᵀ + b2)
-  la::gemm_nt(1.0f, ws.y, w2_, 0.0f, ws.z);
   if (fused) {
-    la::bias_sigmoid(ws.z, b2_);
+    la::gemm_nt(1.0f, ws.y, w2_, 0.0f, ws.z,
+                la::GemmEpilogue::bias_sigmoid(b2_));
   } else {
+    la::gemm_nt(1.0f, ws.y, w2_, 0.0f, ws.z);
     la::add_row_broadcast(ws.z, b2_);
     la::sigmoid_inplace(ws.z);
   }
@@ -74,8 +75,7 @@ void SparseAutoencoder::encode(const la::Matrix& x, la::Matrix& y) const {
                     "input dim " << x.cols() << " != visible " << config_.visible);
   if (y.rows() != x.rows() || y.cols() != config_.hidden)
     y = la::Matrix::uninitialized(x.rows(), config_.hidden);
-  la::gemm_nt(1.0f, x, w1_, 0.0f, y);
-  la::bias_sigmoid(y, b1_);
+  la::gemm_nt(1.0f, x, w1_, 0.0f, y, la::GemmEpilogue::bias_sigmoid(b1_));
 }
 
 double SparseAutoencoder::cost(const la::Matrix& x, Workspace& ws) const {
@@ -126,11 +126,14 @@ double SparseAutoencoder::gradient(const la::Matrix& input,
   la::scal(inv_m, grads.g_b2);
 
   // Hidden layer: back = (delta2·W2 + sparsity term) ⊙ y ⊙ (1 − y).
-  la::gemm_nn(1.0f, ws.delta2, w2_, 0.0f, ws.back);
+  // The sparsity vector is computed first so the fused path can apply it as a
+  // GEMM epilogue (the epilogue's operands must be final before the GEMM).
   la::sparsity_delta(config_.rho, config_.beta, ws.rho_hat, ws.sparse);
   if (fused) {
-    la::hidden_delta(ws.back, ws.sparse, ws.y);
+    la::gemm_nn(1.0f, ws.delta2, w2_, 0.0f, ws.back,
+                la::GemmEpilogue::bias_dsigmoid_mul(ws.sparse, ws.y));
   } else {
+    la::gemm_nn(1.0f, ws.delta2, w2_, 0.0f, ws.back);
     la::add_row_broadcast(ws.back, ws.sparse);
     la::dsigmoid_mul_inplace(ws.back, ws.y);
   }

@@ -1,13 +1,14 @@
 #include "la/gemm.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include "la/pack_arena.hpp"
 #include "phi/kernel_stats.hpp"
-#include "util/aligned.hpp"
 
 namespace deepphi::la {
 
@@ -58,11 +59,21 @@ void pack_b(const Matrix& b, Trans tb, Index pc, Index jc, Index kc, Index nc,
   }
 }
 
-// C[r0 : r0+mr_eff, c0 : c0+nr_eff] += alpha · (A panel · B panel).
-// Panels are zero-padded so the accumulation loop is always full MR×NR;
-// clipping happens only at write-back.
+inline float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// C[r0 : r0+mr_eff, c0 : c0+nr_eff] gets alpha · (A panel · B panel) merged
+// in at write-back. Panels are zero-padded so the accumulation loop is always
+// full MR×NR; clipping happens only at write-back. `first_k` folds the beta
+// scaling of C into the first k-panel (beta == 0 never reads C, so
+// uninitialized output buffers are safe); `last_k` applies the fused epilogue
+// while the tile is still cache-hot. The epilogue op is a template parameter
+// so each variant gets dedicated codegen and the kNone accumulation path pays
+// nothing for the fusion machinery.
+template <EpilogueOp OP>
 void micro_kernel(const float* ap, const float* bp, Index kc, float alpha,
-                  Matrix& c, Index r0, Index c0, Index mr_eff, Index nr_eff) {
+                  float beta, bool first_k, bool last_k,
+                  const GemmEpilogue& ep, Matrix& c, Index r0, Index c0,
+                  Index mr_eff, Index nr_eff) {
   float acc[MR][NR] = {};
   for (Index kk = 0; kk < kc; ++kk) {
     const float* arow = ap + kk * MR;
@@ -73,35 +84,194 @@ void micro_kernel(const float* ap, const float* bp, Index kc, float alpha,
       for (Index j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
     }
   }
+  const float* bias = nullptr;
+  if constexpr (OP == EpilogueOp::kBiasAdd || OP == EpilogueOp::kBiasSigmoid ||
+                OP == EpilogueOp::kBiasDsigmoidMul) {
+    bias = ep.bias->data() + c0;
+  }
   for (Index i = 0; i < mr_eff; ++i) {
     float* crow = c.row(r0 + i) + c0;
-    for (Index j = 0; j < nr_eff; ++j) crow[j] += alpha * acc[i][j];
+    float vals[NR];
+    if (first_k) {
+      if (beta == 0.0f) {
+        for (Index j = 0; j < nr_eff; ++j) vals[j] = alpha * acc[i][j];
+      } else {
+        for (Index j = 0; j < nr_eff; ++j)
+          vals[j] = beta * crow[j] + alpha * acc[i][j];
+      }
+    } else {
+      for (Index j = 0; j < nr_eff; ++j) vals[j] = crow[j] + alpha * acc[i][j];
+    }
+    if (last_k) {
+      if constexpr (OP == EpilogueOp::kBiasAdd) {
+        for (Index j = 0; j < nr_eff; ++j) vals[j] += bias[j];
+      } else if constexpr (OP == EpilogueOp::kBiasSigmoid) {
+        for (Index j = 0; j < nr_eff; ++j)
+          vals[j] = sigmoid_scalar(vals[j] + bias[j]);
+      } else if constexpr (OP == EpilogueOp::kDsigmoidMul) {
+        const float* arow_ = ep.act->row(r0 + i) + c0;
+        for (Index j = 0; j < nr_eff; ++j)
+          vals[j] *= arow_[j] * (1.0f - arow_[j]);
+      } else if constexpr (OP == EpilogueOp::kBiasDsigmoidMul) {
+        const float* arow_ = ep.act->row(r0 + i) + c0;
+        for (Index j = 0; j < nr_eff; ++j)
+          vals[j] = (vals[j] + bias[j]) * arow_[j] * (1.0f - arow_[j]);
+      }
+    }
+    for (Index j = 0; j < nr_eff; ++j) crow[j] = vals[j];
   }
 }
 
-// Serial blocked GEMM over the C row slice [row_begin, row_end). `a_buf` and
-// `b_buf` are caller-provided packing buffers sized for the blocking.
-void gemm_slice(Trans ta, Trans tb, float alpha, const Matrix& a,
-                const Matrix& b, Matrix& c, Index row_begin, Index row_end,
-                Index k, const GemmBlocking& bl, float* a_buf, float* b_buf) {
-  const Index m = row_end - row_begin;
-  const Index n = c.cols();
-  for (Index jc = 0; jc < n; jc += bl.nc) {
-    const Index nc_eff = std::min(bl.nc, n - jc);
+// Serial blocked GEMM over the C tile [row_begin, row_end) × [col_begin,
+// col_end). `a_buf` and `b_buf` are caller-provided packing buffers sized for
+// the blocking. Beta is folded into the first k-panel's write-back and the
+// epilogue into the last one's, so the tile is touched exactly once per
+// k-panel and never in a separate elementwise pass.
+template <EpilogueOp OP>
+void gemm_tile(Trans ta, Trans tb, float alpha, float beta, const Matrix& a,
+               const Matrix& b, Matrix& c, Index row_begin, Index row_end,
+               Index col_begin, Index col_end, Index k, const GemmBlocking& bl,
+               float* a_buf, float* b_buf, const GemmEpilogue& ep) {
+  for (Index jc = col_begin; jc < col_end; jc += bl.nc) {
+    const Index nc_eff = std::min(bl.nc, col_end - jc);
     for (Index pc = 0; pc < k; pc += bl.kc) {
       const Index kc_eff = std::min(bl.kc, k - pc);
+      const bool first_k = pc == 0;
+      const bool last_k = pc + kc_eff == k;
       pack_b(b, tb, pc, jc, kc_eff, nc_eff, b_buf);
-      for (Index ic = 0; ic < m; ic += bl.mc) {
-        const Index mc_eff = std::min(bl.mc, m - ic);
-        pack_a(a, ta, row_begin + ic, pc, mc_eff, kc_eff, a_buf);
+      for (Index ic = row_begin; ic < row_end; ic += bl.mc) {
+        const Index mc_eff = std::min(bl.mc, row_end - ic);
+        pack_a(a, ta, ic, pc, mc_eff, kc_eff, a_buf);
         for (Index jr = 0; jr < nc_eff; jr += NR) {
           const float* bp = b_buf + (jr / NR) * kc_eff * NR;
           for (Index ir = 0; ir < mc_eff; ir += MR) {
             const float* ap = a_buf + (ir / MR) * kc_eff * MR;
-            micro_kernel(ap, bp, kc_eff, alpha, c, row_begin + ic + ir, jc + jr,
-                         std::min(MR, mc_eff - ir), std::min(NR, nc_eff - jr));
+            micro_kernel<OP>(ap, bp, kc_eff, alpha, beta, first_k, last_k, ep,
+                             c, ic + ir, jc + jr, std::min(MR, mc_eff - ir),
+                             std::min(NR, nc_eff - jr));
           }
         }
+      }
+    }
+  }
+}
+
+// Degenerate case (k == 0 or alpha == 0): no accumulation loop runs, so the
+// beta scaling and the epilogue are applied in one standalone parallel pass.
+void apply_beta_epilogue(Matrix& c, float beta, const GemmEpilogue& ep) {
+  const Index rows = c.rows();
+  const Index cols = c.cols();
+  const float* bias = ep.bias != nullptr ? ep.bias->data() : nullptr;
+#pragma omp parallel for schedule(static)
+  for (Index r = 0; r < rows; ++r) {
+    float* crow = c.row(r);
+    const float* arow =
+        ep.act != nullptr ? ep.act->row(r) : nullptr;
+    for (Index j = 0; j < cols; ++j) {
+      float v = beta == 0.0f ? 0.0f : beta * crow[j];
+      switch (ep.op) {
+        case EpilogueOp::kNone:
+          break;
+        case EpilogueOp::kBiasAdd:
+          v += bias[j];
+          break;
+        case EpilogueOp::kBiasSigmoid:
+          v = sigmoid_scalar(v + bias[j]);
+          break;
+        case EpilogueOp::kDsigmoidMul:
+          v *= arow[j] * (1.0f - arow[j]);
+          break;
+        case EpilogueOp::kBiasDsigmoidMul:
+          v = (v + bias[j]) * arow[j] * (1.0f - arow[j]);
+          break;
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+// Per-element loop-class cost of an epilogue, mirrored exactly by
+// core/cost_accounting (the model==measure contract). Fused epilogues carry
+// no C traffic — the tile is cache-hot at write-back — only the flops and
+// the streamed reads of `act`.
+void record_epilogue(const GemmEpilogue& ep, Index m, Index n) {
+  switch (ep.op) {
+    case EpilogueOp::kNone:
+      return;
+    case EpilogueOp::kBiasAdd:
+      phi::record(phi::epilogue_contribution(m * n, 1.0, 0.0));
+      return;
+    case EpilogueOp::kBiasSigmoid:
+      phi::record(phi::epilogue_contribution(m * n, 9.0, 0.0));
+      return;
+    case EpilogueOp::kDsigmoidMul:
+      phi::record(phi::epilogue_contribution(m * n, 3.0, 1.0));
+      return;
+    case EpilogueOp::kBiasDsigmoidMul:
+      phi::record(phi::epilogue_contribution(m * n, 4.0, 1.0));
+      return;
+  }
+}
+
+// Grid decomposition + parallel tile loop, instantiated per epilogue op.
+template <EpilogueOp OP>
+void run_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+                 const Matrix& b, float beta, Matrix& c, const GemmBlocking& bl,
+                 const GemmEpilogue& ep, Index m, Index n, Index k) {
+  // 2-D (ic, jc) tile grid over C. Tiles start at the cache-blocking size and
+  // are split — at register-tile granularity, preferring the dimension with
+  // more room — until the grid covers the thread count, so skinny products
+  // (gemm_tn gradients with small m) still use every core. The decomposition
+  // never changes results: tiles are disjoint and each element's
+  // k-accumulation order is fixed by bl.kc alone.
+  int max_threads = 1;
+#ifdef _OPENMP
+  max_threads = omp_get_max_threads();
+#endif
+  Index tile_m = std::min(bl.mc, m);
+  Index tile_n = std::min(bl.nc, n);
+  auto grid_size = [&] {
+    return ((m + tile_m - 1) / tile_m) * ((n + tile_n - 1) / tile_n);
+  };
+  while (grid_size() < max_threads && (tile_m > MR || tile_n > NR)) {
+    if (tile_m / MR >= tile_n / NR) {
+      tile_m = std::max<Index>(MR, (tile_m / 2 + MR - 1) / MR * MR);
+    } else {
+      tile_n = std::max<Index>(NR, (tile_n / 2 + NR - 1) / NR * NR);
+    }
+  }
+  const Index grid_m = (m + tile_m - 1) / tile_m;
+  const Index grid_n = (n + tile_n - 1) / tile_n;
+  const Index tiles = grid_m * grid_n;
+
+  // Per-thread packing space: one arena allocation holding the A panel (at
+  // offset 0) and the B panel (at the next 64-byte boundary).
+  const Index a_buf_elems = (bl.mc + MR - 1) / MR * MR * bl.kc;
+  const Index b_buf_elems = (bl.nc + NR - 1) / NR * NR * bl.kc;
+  const std::size_t a_span =
+      (static_cast<std::size_t>(a_buf_elems) + 15) / 16 * 16;
+  const std::size_t arena_elems = a_span + static_cast<std::size_t>(b_buf_elems);
+
+#pragma omp parallel
+  {
+    int nthreads = 1, tid = 0;
+#ifdef _OPENMP
+    nthreads = omp_get_num_threads();
+    tid = omp_get_thread_num();
+#endif
+    if (tid < tiles) {
+      float* buf = pack_arena(arena_elems);
+      float* a_buf = buf;
+      float* b_buf = buf + a_span;
+      for (Index t = tid; t < tiles; t += nthreads) {
+        const Index tr = t / grid_n;
+        const Index tc = t % grid_n;
+        const Index row_begin = tr * tile_m;
+        const Index row_end = std::min(row_begin + tile_m, m);
+        const Index col_begin = tc * tile_n;
+        const Index col_end = std::min(col_begin + tile_n, n);
+        gemm_tile<OP>(trans_a, trans_b, alpha, beta, a, b, c, row_begin,
+                      row_end, col_begin, col_end, k, bl, a_buf, b_buf, ep);
       }
     }
   }
@@ -111,7 +281,7 @@ void gemm_slice(Trans ta, Trans tb, float alpha, const Matrix& a,
 
 void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
                   const Matrix& b, float beta, Matrix& c,
-                  const GemmBlocking& bl) {
+                  const GemmBlocking& bl, const GemmEpilogue& ep) {
   const Index m = trans_a == Trans::kNo ? a.rows() : a.cols();
   const Index ka = trans_a == Trans::kNo ? a.cols() : a.rows();
   const Index kb = trans_b == Trans::kNo ? b.rows() : b.cols();
@@ -123,43 +293,66 @@ void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
                     "gemm C must be " << m << "x" << n << ", got " << c.rows()
                                       << "x" << c.cols());
   DEEPPHI_CHECK_MSG(bl.mc > 0 && bl.kc > 0 && bl.nc > 0, "non-positive blocking");
+  if (ep.op == EpilogueOp::kBiasAdd || ep.op == EpilogueOp::kBiasSigmoid ||
+      ep.op == EpilogueOp::kBiasDsigmoidMul) {
+    DEEPPHI_CHECK_MSG(ep.bias != nullptr && ep.bias->size() == n,
+                      "epilogue bias must have size " << n);
+  }
+  if (ep.op == EpilogueOp::kDsigmoidMul ||
+      ep.op == EpilogueOp::kBiasDsigmoidMul) {
+    DEEPPHI_CHECK_MSG(ep.act != nullptr && ep.act->rows() == m &&
+                          ep.act->cols() == n && ep.act->data() != c.data(),
+                      "epilogue act must be a distinct " << m << "x" << n
+                                                         << " matrix");
+  }
   phi::record(phi::gemm_contribution(m, n, ka));
+  record_epilogue(ep, m, n);
   if (m == 0 || n == 0) return;
 
-  // Apply beta up front so every pc panel can simply accumulate.
-  if (beta == 0.0f) {
-    c.zero();
-  } else if (beta != 1.0f) {
-    float* p = c.data();
-    for (Index i = 0; i < c.size(); ++i) p[i] *= beta;
+  if (ka == 0 || alpha == 0.0f) {
+    apply_beta_epilogue(c, beta, ep);
+    return;
   }
-  if (ka == 0 || alpha == 0.0f) return;
 
-  const Index a_buf_elems = (bl.mc + MR - 1) / MR * MR * bl.kc;
-  const Index b_buf_elems = (bl.nc + NR - 1) / NR * NR * bl.kc;
-
-#pragma omp parallel
-  {
-    int nthreads = 1, tid = 0;
-#ifdef _OPENMP
-    nthreads = omp_get_num_threads();
-    tid = omp_get_thread_num();
-#endif
-    const Index chunk = (m + nthreads - 1) / nthreads;
-    const Index row_begin = std::min<Index>(static_cast<Index>(tid) * chunk, m);
-    const Index row_end = std::min<Index>(row_begin + chunk, m);
-    if (row_begin < row_end) {
-      auto a_buf = util::make_aligned<float>(static_cast<std::size_t>(a_buf_elems));
-      auto b_buf = util::make_aligned<float>(static_cast<std::size_t>(b_buf_elems));
-      gemm_slice(trans_a, trans_b, alpha, a, b, c, row_begin, row_end, ka, bl,
-                 a_buf.get(), b_buf.get());
-    }
+  switch (ep.op) {
+    case EpilogueOp::kNone:
+      run_blocked<EpilogueOp::kNone>(trans_a, trans_b, alpha, a, b, beta, c,
+                                     bl, ep, m, n, ka);
+      return;
+    case EpilogueOp::kBiasAdd:
+      run_blocked<EpilogueOp::kBiasAdd>(trans_a, trans_b, alpha, a, b, beta, c,
+                                        bl, ep, m, n, ka);
+      return;
+    case EpilogueOp::kBiasSigmoid:
+      run_blocked<EpilogueOp::kBiasSigmoid>(trans_a, trans_b, alpha, a, b,
+                                            beta, c, bl, ep, m, n, ka);
+      return;
+    case EpilogueOp::kDsigmoidMul:
+      run_blocked<EpilogueOp::kDsigmoidMul>(trans_a, trans_b, alpha, a, b,
+                                            beta, c, bl, ep, m, n, ka);
+      return;
+    case EpilogueOp::kBiasDsigmoidMul:
+      run_blocked<EpilogueOp::kBiasDsigmoidMul>(trans_a, trans_b, alpha, a, b,
+                                                beta, c, bl, ep, m, n, ka);
+      return;
   }
+}
+
+void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+                  const Matrix& b, float beta, Matrix& c,
+                  const GemmBlocking& bl) {
+  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c, bl, GemmEpilogue{});
 }
 
 void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
           const Matrix& b, float beta, Matrix& c) {
-  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c, GemmBlocking{});
+  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c, GemmBlocking{},
+               GemmEpilogue{});
+}
+
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
+          const Matrix& b, float beta, Matrix& c, const GemmEpilogue& ep) {
+  gemm_blocked(trans_a, trans_b, alpha, a, b, beta, c, GemmBlocking{}, ep);
 }
 
 }  // namespace deepphi::la

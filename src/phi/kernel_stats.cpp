@@ -32,6 +32,7 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   bytes_written += o.bytes_written;
   kernel_launches += o.kernel_launches;
   barriers += o.barriers;
+  fused_epilogues += o.fused_epilogues;
   h2d_bytes += o.h2d_bytes;
   d2h_bytes += o.d2h_bytes;
   transfers += o.transfers;
@@ -54,6 +55,7 @@ KernelStats KernelStats::scaled(double factor) const {
   s.bytes_written *= factor;
   s.kernel_launches = static_cast<std::int64_t>(std::llround(kernel_launches * factor));
   s.barriers = static_cast<std::int64_t>(std::llround(barriers * factor));
+  s.fused_epilogues = static_cast<std::int64_t>(std::llround(fused_epilogues * factor));
   s.h2d_bytes *= factor;
   s.d2h_bytes *= factor;
   s.transfers = static_cast<std::int64_t>(std::llround(transfers * factor));
@@ -69,6 +71,7 @@ bool KernelStats::approx_equal(const KernelStats& o, double rtol) const {
          close(bytes_read, o.bytes_read, rtol) &&
          close(bytes_written, o.bytes_written, rtol) &&
          kernel_launches == o.kernel_launches && barriers == o.barriers &&
+         fused_epilogues == o.fused_epilogues &&
          close(h2d_bytes, o.h2d_bytes, rtol) && close(d2h_bytes, o.d2h_bytes, rtol) &&
          transfers == o.transfers;
 }
@@ -78,6 +81,7 @@ std::string KernelStats::to_string() const {
   os << "KernelStats{gemm=" << gemm_flops << " loop=" << loop_flops
      << " naive=" << naive_flops << " rd=" << bytes_read << " wr=" << bytes_written
      << " launches=" << kernel_launches << " barriers=" << barriers
+     << " fused=" << fused_epilogues
      << " h2d=" << h2d_bytes << " d2h=" << d2h_bytes << " xfers=" << transfers
      << "}";
   return os.str();
@@ -136,6 +140,15 @@ KernelStats naive_loop_contribution(std::int64_t n, double flops_per_elem,
   KernelStats s;
   s.naive_flops = static_cast<double>(n) * flops_per_elem;
   s.kernel_launches = 1;
+  return s;
+}
+
+KernelStats epilogue_contribution(std::int64_t n, double flops_per_elem,
+                                  double floats_read_per_elem) {
+  KernelStats s;
+  s.loop_flops = static_cast<double>(n) * flops_per_elem;
+  s.bytes_read = 4.0 * static_cast<double>(n) * floats_read_per_elem;
+  s.fused_epilogues = 1;
   return s;
 }
 

@@ -49,6 +49,10 @@ struct KernelStats {
   std::int64_t kernel_launches = 0;
   /// Extra synchronization barriers beyond the implicit end-of-kernel join.
   std::int64_t barriers = 0;
+  /// Elementwise epilogues fused into a GEMM's write-back. Their flops are in
+  /// loop_flops but they launch no kernel of their own and touch no C memory
+  /// beyond the GEMM's — the fusion win the counter makes visible.
+  std::int64_t fused_epilogues = 0;
 
   /// Host→device / device→host transfer traffic (PCIe model).
   double h2d_bytes = 0;
@@ -108,6 +112,14 @@ KernelStats loop_contribution(std::int64_t n, double flops_per_elem,
 KernelStats naive_loop_contribution(std::int64_t n, double flops_per_elem,
                                     double floats_read_per_elem,
                                     double floats_written_per_elem);
+
+/// Elementwise epilogue fused into a GEMM write-back over n elements:
+/// loop-class flops, no kernel launch of its own, and no C traffic (the tile
+/// is cache-hot) — only `floats_read_per_elem` for streamed side operands
+/// (e.g. the activation matrix of a dsigmoid epilogue). Bumps
+/// fused_epilogues by one.
+KernelStats epilogue_contribution(std::int64_t n, double flops_per_elem,
+                                  double floats_read_per_elem);
 
 /// One host→device transfer of `bytes`.
 KernelStats h2d_contribution(double bytes);

@@ -15,6 +15,7 @@
 #include "core/rbm_loops.hpp"
 #include "core/rbm_taskgraph.hpp"
 #include "core/sparse_autoencoder.hpp"
+#include "la/pack_arena.hpp"
 #include "la/reduce.hpp"
 #include "data/patches.hpp"
 #include "util/rng.hpp"
@@ -101,6 +102,21 @@ TEST(SaeGradient, BatchedMatchesReference) {
   EXPECT_LT(max_abs_diff(grads.g_b1.data(), gb1, grads.g_b1.size()), 2e-6);
   EXPECT_LT(max_abs_diff(grads.g_w2.data(), gw2, grads.g_w2.size()), 2e-6);
   EXPECT_LT(max_abs_diff(grads.g_b2.data(), gb2, grads.g_b2.size()), 2e-6);
+}
+
+TEST(SaeGradient, SteadyStateStepAllocatesNothingInGemm) {
+  // Once the model workspace and the per-thread packing arenas are warm, a
+  // full fused training step must perform zero heap allocations inside
+  // gemm_blocked (the arenas are persistent and merely reused).
+  SparseAutoencoder model(small_sae_config(), 23);
+  la::Matrix x = random_batch(32, 6, 5);
+  SparseAutoencoder::Workspace ws;
+  AeGradients grads;
+  model.gradient(x, ws, grads, /*fused=*/true);  // warm-up
+  const std::uint64_t allocs = la::pack_arena_allocations();
+  for (int step = 0; step < 3; ++step)
+    model.gradient(x, ws, grads, /*fused=*/true);
+  EXPECT_EQ(la::pack_arena_allocations(), allocs);
 }
 
 struct SaeShapeCase {

@@ -13,6 +13,7 @@
 #include "la/elementwise.hpp"
 #include "la/gemm.hpp"
 #include "la/matrix.hpp"
+#include "la/pack_arena.hpp"
 #include "la/reduce.hpp"
 #include "la/transpose.hpp"
 #include "util/error.hpp"
@@ -591,6 +592,199 @@ TEST(Gemm, PaperShapedProduct) {
   gemm_nt(1.0f, x, w, 0.0f, y_opt);
   baseline::naive_gemm(Trans::kNo, Trans::kYes, 1.0f, x, w, 0.0f, y_ref);
   EXPECT_TRUE(y_opt.approx_equal(y_ref, 5e-4f, 5e-5f));
+}
+
+// --- Fused epilogues ---
+
+// Applies `op` to `c` with the unfused elementwise kernels — the reference
+// the fused write-back must match.
+void apply_epilogue_reference(EpilogueOp op, Matrix& c, const Vector& bias,
+                              const Matrix& act) {
+  switch (op) {
+    case EpilogueOp::kNone:
+      return;
+    case EpilogueOp::kBiasAdd:
+      add_row_broadcast(c, bias);
+      return;
+    case EpilogueOp::kBiasSigmoid:
+      add_row_broadcast(c, bias);
+      sigmoid_inplace(c);
+      return;
+    case EpilogueOp::kDsigmoidMul:
+      dsigmoid_mul_inplace(c, act);
+      return;
+    case EpilogueOp::kBiasDsigmoidMul:
+      add_row_broadcast(c, bias);
+      dsigmoid_mul_inplace(c, act);
+      return;
+  }
+}
+
+GemmEpilogue make_epilogue(EpilogueOp op, const Vector& bias,
+                           const Matrix& act) {
+  switch (op) {
+    case EpilogueOp::kNone:
+      return GemmEpilogue::none();
+    case EpilogueOp::kBiasAdd:
+      return GemmEpilogue::bias_add(bias);
+    case EpilogueOp::kBiasSigmoid:
+      return GemmEpilogue::bias_sigmoid(bias);
+    case EpilogueOp::kDsigmoidMul:
+      return GemmEpilogue::dsigmoid_mul(act);
+    case EpilogueOp::kBiasDsigmoidMul:
+      return GemmEpilogue::bias_dsigmoid_mul(bias, act);
+  }
+  return GemmEpilogue::none();
+}
+
+const char* epilogue_name(EpilogueOp op) {
+  switch (op) {
+    case EpilogueOp::kNone: return "none";
+    case EpilogueOp::kBiasAdd: return "bias_add";
+    case EpilogueOp::kBiasSigmoid: return "bias_sigmoid";
+    case EpilogueOp::kDsigmoidMul: return "dsigmoid_mul";
+    case EpilogueOp::kBiasDsigmoidMul: return "bias_dsigmoid_mul";
+  }
+  return "?";
+}
+
+struct EpilogueCase {
+  Index m, n, k;
+  Trans ta, tb;
+  float beta;
+};
+
+class GemmEpilogueSweep : public ::testing::TestWithParam<EpilogueCase> {};
+
+// Every epilogue op must equal "unfused gemm, then the elementwise kernels"
+// for every transpose combination, fringe-heavy shape, and beta.
+TEST_P(GemmEpilogueSweep, MatchesUnfusedComposition) {
+  const EpilogueCase& c = GetParam();
+  const Index a_rows = c.ta == Trans::kNo ? c.m : c.k;
+  const Index a_cols = c.ta == Trans::kNo ? c.k : c.m;
+  const Index b_rows = c.tb == Trans::kNo ? c.k : c.n;
+  const Index b_cols = c.tb == Trans::kNo ? c.n : c.k;
+  Matrix a = random_matrix(a_rows, a_cols, 700 + c.m);
+  Matrix b = random_matrix(b_rows, b_cols, 800 + c.n);
+  Vector bias = random_vector(c.n, 900 + c.k);
+  Matrix act = random_matrix(c.m, c.n, 950 + c.k, 0.05f, 0.95f);
+  const Matrix c_init = random_matrix(c.m, c.n, 990 + c.m + c.n);
+
+  for (EpilogueOp op :
+       {EpilogueOp::kBiasAdd, EpilogueOp::kBiasSigmoid, EpilogueOp::kDsigmoidMul,
+        EpilogueOp::kBiasDsigmoidMul}) {
+    Matrix c_fused = c_init;
+    Matrix c_ref = c_init;
+    gemm(c.ta, c.tb, 1.0f, a, b, c.beta, c_fused, make_epilogue(op, bias, act));
+    gemm(c.ta, c.tb, 1.0f, a, b, c.beta, c_ref);
+    apply_epilogue_reference(op, c_ref, bias, act);
+    EXPECT_TRUE(c_fused.approx_equal(c_ref, 5e-4f, 5e-5f))
+        << epilogue_name(op) << " m=" << c.m << " n=" << c.n << " k=" << c.k
+        << " beta=" << c.beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmEpilogueSweep,
+    ::testing::Values(
+        // All four transpose combinations at odd/prime shapes.
+        EpilogueCase{3, 5, 7, Trans::kNo, Trans::kNo, 0.0f},
+        EpilogueCase{37, 53, 29, Trans::kNo, Trans::kNo, 1.0f},
+        EpilogueCase{31, 17, 41, Trans::kYes, Trans::kNo, 0.5f},
+        EpilogueCase{23, 61, 13, Trans::kNo, Trans::kYes, 0.0f},
+        EpilogueCase{19, 43, 11, Trans::kYes, Trans::kYes, 1.0f},
+        // beta sweep on one fringe-heavy shape per trans combination.
+        EpilogueCase{67, 33, 129, Trans::kNo, Trans::kNo, 0.5f},
+        EpilogueCase{67, 33, 129, Trans::kNo, Trans::kYes, 1.0f},
+        EpilogueCase{67, 33, 129, Trans::kYes, Trans::kNo, 0.0f},
+        EpilogueCase{67, 33, 129, Trans::kYes, Trans::kYes, 0.5f},
+        // Skinny shapes that exercise the 2-D tile split.
+        EpilogueCase{5, 257, 19, Trans::kNo, Trans::kNo, 0.0f},
+        EpilogueCase{257, 5, 19, Trans::kNo, Trans::kYes, 1.0f},
+        // Micro-tile exact fit.
+        EpilogueCase{4, 16, 8, Trans::kNo, Trans::kNo, 0.5f}));
+
+TEST(GemmEpilogue, AlphaZeroStillAppliesEpilogue) {
+  // The degenerate path (no packing loop runs) must scale C and apply the
+  // epilogue exactly like the main path would.
+  Matrix a = random_matrix(6, 8, 400);
+  Matrix b = random_matrix(8, 9, 401);
+  Vector bias = random_vector(9, 402);
+  Matrix c_fused = random_matrix(6, 9, 403);
+  Matrix c_ref = c_fused;
+  gemm_nn(0.0f, a, b, 0.5f, c_fused, GemmEpilogue::bias_sigmoid(bias));
+  gemm_nn(0.0f, a, b, 0.5f, c_ref);
+  apply_epilogue_reference(EpilogueOp::kBiasSigmoid, c_ref, bias, c_ref);
+  EXPECT_TRUE(c_fused.approx_equal(c_ref, 5e-5f, 5e-6f));
+}
+
+TEST(GemmEpilogue, EmptyInnerDimensionStillAppliesEpilogue) {
+  Matrix a(5, 0), b(0, 7);
+  Vector bias = random_vector(7, 405);
+  Matrix c = Matrix::constant(5, 7, 3.0f);
+  gemm_nn(1.0f, a, b, 0.0f, c, GemmEpilogue::bias_add(bias));
+  for (Index r = 0; r < 5; ++r)
+    for (Index j = 0; j < 7; ++j) EXPECT_FLOAT_EQ(c(r, j), bias[j]);
+}
+
+TEST(GemmEpilogue, RejectsBadOperands) {
+  Matrix a = random_matrix(4, 6, 410);
+  Matrix b = random_matrix(6, 5, 411);
+  Matrix c(4, 5);
+  Vector wrong_bias = random_vector(4, 412);  // needs size n=5
+  EXPECT_THROW(gemm_nn(1.0f, a, b, 0.0f, c, GemmEpilogue::bias_add(wrong_bias)),
+               util::Error);
+  Matrix wrong_act = random_matrix(4, 6, 413);  // needs shape of C
+  EXPECT_THROW(
+      gemm_nn(1.0f, a, b, 0.0f, c, GemmEpilogue::dsigmoid_mul(wrong_act)),
+      util::Error);
+  EXPECT_THROW(gemm_nn(1.0f, a, b, 0.0f, c, GemmEpilogue::dsigmoid_mul(c)),
+               util::Error);  // act must not alias C
+}
+
+// Fused epilogues and workspace reuse must not perturb bit-stability: the
+// same call repeated (arena already warm) yields identical bits.
+TEST(GemmEpilogue, FusedCallsAreBitwiseStable) {
+  Matrix a = random_matrix(45, 97, 420);
+  Matrix b = random_matrix(97, 71, 421);
+  Vector bias = random_vector(71, 422);
+  Matrix first(45, 71);
+  gemm_nt(1.0f, a, random_matrix(71, 97, 423), 0.0f, first,
+          GemmEpilogue::bias_sigmoid(bias));  // warm the arena
+  Matrix w = random_matrix(71, 97, 424);
+  Matrix c1(45, 71), c2(45, 71);
+  gemm_nt(1.0f, a, w, 0.0f, c1, GemmEpilogue::bias_sigmoid(bias));
+  gemm_nt(1.0f, a, w, 0.0f, c2, GemmEpilogue::bias_sigmoid(bias));
+  EXPECT_TRUE(c1.approx_equal(c2, 0.0f, 0.0f));
+}
+
+// --- Persistent packing workspace ---
+
+TEST(PackArena, SteadyStateGemmAllocatesNothing) {
+  Matrix a = random_matrix(64, 80, 430);
+  Matrix b = random_matrix(80, 48, 431);
+  Matrix c(64, 48);
+  gemm_nn(1.0f, a, b, 0.0f, c);  // warm-up sizes the per-thread arenas
+  const std::uint64_t allocs = pack_arena_allocations();
+  for (int rep = 0; rep < 5; ++rep) gemm_nn(1.0f, a, b, 0.0f, c);
+  EXPECT_EQ(pack_arena_allocations(), allocs)
+      << "gemm_blocked allocated in steady state";
+}
+
+TEST(PackArena, GrowsOnceForLargerShapes) {
+  // A bigger product may grow the arena once; repeating it must not.
+  Matrix a = random_matrix(96, 320, 432);
+  Matrix b = random_matrix(320, 96, 433);
+  Matrix c(96, 96);
+  gemm_nn(1.0f, a, b, 0.0f, c);
+  const std::uint64_t allocs = pack_arena_allocations();
+  gemm_nn(1.0f, a, b, 0.0f, c);
+  // Smaller shapes reuse the grown arena too.
+  Matrix a2 = random_matrix(16, 24, 434);
+  Matrix b2 = random_matrix(24, 16, 435);
+  Matrix c2(16, 16);
+  gemm_nn(1.0f, a2, b2, 0.0f, c2);
+  EXPECT_EQ(pack_arena_allocations(), allocs);
 }
 
 }  // namespace
