@@ -190,10 +190,11 @@ void apply_beta_epilogue(Matrix& c, float beta, const GemmEpilogue& ep) {
   }
 }
 
-// Per-element loop-class cost of an epilogue, mirrored exactly by
+// Per-element loop-class cost of a *fused* epilogue, mirrored exactly by
 // core/cost_accounting (the model==measure contract). Fused epilogues carry
 // no C traffic — the tile is cache-hot at write-back — only the flops and
-// the streamed reads of `act`.
+// the streamed reads of `act`. Recorded only when run_blocked actually fuses;
+// the degenerate path records record_beta_epilogue_pass instead.
 void record_epilogue(const GemmEpilogue& ep, Index m, Index n) {
   switch (ep.op) {
     case EpilogueOp::kNone:
@@ -211,6 +212,38 @@ void record_epilogue(const GemmEpilogue& ep, Index m, Index n) {
       phi::record(phi::epilogue_contribution(m * n, 4.0, 1.0));
       return;
   }
+}
+
+// Cost of the standalone apply_beta_epilogue pass (ka == 0 / alpha == 0):
+// unlike the fused write-back it streams the full C matrix — a C read per
+// element when beta != 0, always a C write — so it is plain loop work, not a
+// fused epilogue. Its kernel launch is already carried by gemm_contribution
+// (one parallel region per gemm_blocked call on every path).
+void record_beta_epilogue_pass(const GemmEpilogue& ep, float beta, Index m,
+                               Index n) {
+  double flops = beta == 0.0f ? 0.0 : 1.0;
+  double reads = beta == 0.0f ? 0.0 : 1.0;
+  switch (ep.op) {
+    case EpilogueOp::kNone:
+      break;
+    case EpilogueOp::kBiasAdd:
+      flops += 1.0;
+      break;
+    case EpilogueOp::kBiasSigmoid:
+      flops += 9.0;
+      break;
+    case EpilogueOp::kDsigmoidMul:
+      flops += 3.0;
+      reads += 1.0;
+      break;
+    case EpilogueOp::kBiasDsigmoidMul:
+      flops += 4.0;
+      reads += 1.0;
+      break;
+  }
+  phi::KernelStats s = phi::loop_contribution(m * n, flops, reads, 1.0);
+  s.kernel_launches = 0;
+  phi::record(s);
 }
 
 // Grid decomposition + parallel tile loop, instantiated per epilogue op.
@@ -234,7 +267,10 @@ void run_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
     return ((m + tile_m - 1) / tile_m) * ((n + tile_n - 1) / tile_n);
   };
   while (grid_size() < max_threads && (tile_m > MR || tile_n > NR)) {
-    if (tile_m / MR >= tile_n / NR) {
+    // Split only a dimension that can still shrink: halving a tile already at
+    // its register-tile floor returns it unchanged, so picking it would spin
+    // forever (e.g. tile_m == MR with NR < tile_n < 2·NR).
+    if (tile_m > MR && (tile_n <= NR || tile_m / MR >= tile_n / NR)) {
       tile_m = std::max<Index>(MR, (tile_m / 2 + MR - 1) / MR * MR);
     } else {
       tile_n = std::max<Index>(NR, (tile_n / 2 + NR - 1) / NR * NR);
@@ -306,14 +342,15 @@ void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
                                                          << " matrix");
   }
   phi::record(phi::gemm_contribution(m, n, ka));
-  record_epilogue(ep, m, n);
   if (m == 0 || n == 0) return;
 
   if (ka == 0 || alpha == 0.0f) {
+    record_beta_epilogue_pass(ep, beta, m, n);
     apply_beta_epilogue(c, beta, ep);
     return;
   }
 
+  record_epilogue(ep, m, n);
   switch (ep.op) {
     case EpilogueOp::kNone:
       run_blocked<EpilogueOp::kNone>(trans_a, trans_b, alpha, a, b, beta, c,

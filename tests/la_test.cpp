@@ -7,6 +7,10 @@
 #include <cmath>
 #include <tuple>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "baseline/naive_gemm.hpp"
 #include "la/blas1.hpp"
 #include "la/blas2.hpp"
@@ -703,6 +707,37 @@ INSTANTIATE_TEST_SUITE_P(
         EpilogueCase{257, 5, 19, Trans::kNo, Trans::kYes, 1.0f},
         // Micro-tile exact fit.
         EpilogueCase{4, 16, 8, Trans::kNo, Trans::kNo, 0.5f}));
+
+// Regression: the 2-D tile-split heuristic used to spin forever when tile_m
+// had collapsed to the MR floor while NR < tile_n < 2·NR and the grid was
+// still smaller than the thread count — the tie-break kept picking tile_m,
+// which could no longer shrink. Only reproducible with more threads than
+// tiles, so the sweep runs under a raised thread count.
+TEST(GemmBlocked, TileSplitTerminatesAtRegisterTileFloor) {
+#ifdef _OPENMP
+  const int saved_threads = omp_get_max_threads();
+  omp_set_num_threads(16);
+#endif
+  const Index shapes[][3] = {
+      {4, 20, 8},    // tile_m at floor, n inside (NR, 2·NR): the hang shape
+      {4, 17, 5},    // same, minimal fringe
+      {31, 17, 41},  // sweep shape that hung at >8 threads
+      {5, 30, 19},   // m just above the floor
+  };
+  for (const auto& s : shapes) {
+    Matrix a = random_matrix(s[0], s[2], 1000 + s[0]);
+    Matrix b = random_matrix(s[2], s[1], 1100 + s[1]);
+    Matrix c(s[0], s[1]);
+    Matrix c_ref(s[0], s[1]);
+    gemm_nn(1.0f, a, b, 0.0f, c);
+    baseline::naive_gemm(Trans::kNo, Trans::kNo, 1.0f, a, b, 0.0f, c_ref);
+    EXPECT_TRUE(c.approx_equal(c_ref, 5e-4f, 5e-5f))
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved_threads);
+#endif
+}
 
 TEST(GemmEpilogue, AlphaZeroStillAppliesEpilogue) {
   // The degenerate path (no packing loop runs) must scale C and apply the
