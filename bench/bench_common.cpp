@@ -1,10 +1,77 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
 
 namespace deepphi::bench {
 
+namespace {
+
+// Per-process accumulator for --json output. Benches are single-threaded
+// drivers, so plain statics are fine; `g_tables` grows across emit() calls
+// and the file is rewritten each time so multi-table benches (e.g. Fig. 7's
+// SAE + RBM tables) end up with every table in one document.
+std::string g_bench_title = "bench";
+std::vector<util::Table> g_tables;
+
+// Emits a cell as a JSON number when it round-trips cleanly as a double,
+// else as a string. Keeps downstream tooling from re-parsing "128" or
+// "3.75" out of strings while leaving labels like "sae" alone.
+void write_cell(util::JsonWriter& w, const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size()) {
+      w.value(v);
+      return;
+    }
+  }
+  w.value(cell);
+}
+
+void write_json(const std::string& path) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", "deepphi.bench.v1");
+  w.member("bench", g_bench_title);
+  w.key("tables");
+  w.begin_array();
+  for (const util::Table& table : g_tables) {
+    w.begin_object();
+    w.key("columns");
+    w.begin_array();
+    for (const std::string& col : table.header()) w.value(col);
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : table.data()) {
+      w.begin_array();
+      for (const std::string& cell : row) write_cell(w, cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  DEEPPHI_CHECK_MSG(w.done(), "bench json document left incomplete");
+  std::ofstream out(path, std::ios::trunc);
+  DEEPPHI_CHECK_MSG(out.good(), "cannot open --json path '" << path << "'");
+  out << os.str() << "\n";
+  DEEPPHI_CHECK_MSG(out.good(), "write to --json path '" << path << "' failed");
+}
+
+}  // namespace
+
 void banner(const std::string& title, const std::string& description) {
+  g_bench_title = title;
   std::printf("================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("%s\n", description.c_str());
@@ -47,10 +114,19 @@ void emit(const util::Options& options, const util::Table& table) {
     table.write_csv(path);
     std::printf("(csv written to %s)\n", path.c_str());
   }
+  if (options.has("json")) {
+    const std::string path = options.get_string("json");
+    g_tables.push_back(table);
+    write_json(path);
+    std::printf("(json written to %s)\n", path.c_str());
+  }
 }
 
 void declare_common_flags(util::Options& options) {
   options.declare("csv", "also write the result table to this CSV path");
+  options.declare("json",
+                  "also write all result tables to this path as JSON "
+                  "(schema deepphi.bench.v1)");
 }
 
 }  // namespace deepphi::bench

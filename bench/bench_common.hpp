@@ -20,7 +20,8 @@
 
 namespace deepphi::bench {
 
-/// Prints the standard bench banner (what is reproduced, from where).
+/// Prints the standard bench banner (what is reproduced, from where) and
+/// records `title` as the bench name for --json output.
 void banner(const std::string& title, const std::string& description);
 
 /// End-to-end simulated seconds of a training run on the Phi: compute from
@@ -36,9 +37,13 @@ double host_run_seconds(const phi::KernelStats& total_stats,
                         const phi::MachineSpec& spec, int threads);
 
 /// Prints the table and, when --csv=<path> was passed, writes it there too.
+/// When --json=<path> was passed, appends the table to the run's JSON
+/// document (schema "deepphi.bench.v1") and rewrites the file, so benches
+/// that emit several tables accumulate them all.
 void emit(const util::Options& options, const util::Table& table);
 
-/// Declares the flags every bench shares (--csv). Call before validate().
+/// Declares the flags every bench shares (--csv, --json). Call before
+/// validate().
 void declare_common_flags(util::Options& options);
 
 }  // namespace deepphi::bench

@@ -1,0 +1,13 @@
+# CTest script: run a bench binary with --json and validate the emitted
+# document against the deepphi.bench.v1 schema shape.
+execute_process(COMMAND ${BENCH} --json=${OUT} RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench run failed: ${bench_rc}")
+endif()
+execute_process(
+  COMMAND ${CHECK} --require=schema --require=bench --require=tables
+          --require=columns --require=rows --expect=deepphi.bench.v1 ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "bench json failed validation: ${check_rc}")
+endif()

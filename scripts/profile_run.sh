@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-shot profiled training run: builds the tree, trains a chunked Sparse
+# Autoencoder with the profiler and telemetry armed, and validates both
+# artifacts with deepphi_json_check. Leaves:
+#   <build-dir>/profile_run.trace.json   — Chrome trace (ui.perfetto.dev)
+#   <build-dir>/profile_run.jsonl        — JSONL run telemetry
+#
+# Usage: scripts/profile_run.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DDEEPPHI_BUILD_TESTS=OFF -DDEEPPHI_BUILD_BENCH=OFF \
+  -DDEEPPHI_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target deepphi_train deepphi_json_check
+
+TRACE="$BUILD_DIR/profile_run.trace.json"
+TELEMETRY="$BUILD_DIR/profile_run.jsonl"
+
+"$BUILD_DIR/tools/deepphi_train" --model=sae --synthetic=digits \
+  --examples=4096 --epochs=2 --hidden=32 --chunk=1024 \
+  --profile "$TRACE" --telemetry "$TELEMETRY"
+
+"$BUILD_DIR/tools/deepphi_json_check" --require=traceEvents \
+  "--expect=host (measured)" --expect=loading "$TRACE"
+"$BUILD_DIR/tools/deepphi_json_check" --jsonl --require=record --require=seq \
+  --expect=deepphi.telemetry.v1 --expect=run_header --expect=run_summary \
+  "$TELEMETRY"
+
+echo
+echo "trace:     $TRACE  (load in https://ui.perfetto.dev)"
+echo "telemetry: $TELEMETRY"

@@ -3,8 +3,11 @@
 #include <cmath>
 
 #include "la/blas2.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "phi/kernel_stats.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace deepphi::core {
 
@@ -90,14 +93,31 @@ double OnlineSaeTrainer::step(const float* x) {
 }
 
 double OnlineSaeTrainer::train_epoch(const data::Dataset& dataset) {
+  DEEPPHI_PROFILE_SCOPE("online_sgd.epoch");
   DEEPPHI_CHECK_MSG(dataset.dim() == model_.visible(),
                     "dataset dim " << dataset.dim() << " != visible "
                                    << model_.visible());
   DEEPPHI_CHECK_MSG(!dataset.empty(), "empty dataset");
+  util::Timer timer;
   double total = 0;
   for (la::Index i = 0; i < dataset.size(); ++i)
     total += step(dataset.example(i));
-  return total / static_cast<double>(dataset.size());
+  const double mean = total / static_cast<double>(dataset.size());
+  if (config_.telemetry) {
+    using obs::TelemetryField;
+    const double wall_s = timer.seconds();
+    config_.telemetry->emit(
+        "epoch",
+        {TelemetryField::integer("epoch", epochs_run_++),
+         TelemetryField::integer("examples",
+                                 static_cast<std::int64_t>(dataset.size())),
+         TelemetryField::num("mean_cost", mean),
+         TelemetryField::num("wall_s", wall_s),
+         TelemetryField::num(
+             "examples_per_s",
+             wall_s > 0 ? static_cast<double>(dataset.size()) / wall_s : 0.0)});
+  }
+  return mean;
 }
 
 }  // namespace deepphi::core

@@ -12,8 +12,14 @@
 // O(v·h) flops, so the step is memory-bound; bench_online_sgd quantifies it.
 #pragma once
 
+#include <cstdint>
+
 #include "core/sparse_autoencoder.hpp"
 #include "data/dataset.hpp"
+
+namespace deepphi::obs {
+class TelemetrySink;
+}
 
 namespace deepphi::core {
 
@@ -22,6 +28,10 @@ class OnlineSaeTrainer {
   struct Config {
     float lr = 0.1f;
     float rho_decay = 0.99f;  // running ρ̂ decay
+    /// Optional JSONL sink: train_epoch() emits one "epoch" record
+    /// (examples, mean cost, wall seconds, examples/s). Must outlive the
+    /// trainer; null disables emission.
+    obs::TelemetrySink* telemetry = nullptr;
   };
 
   /// Binds to `model` (must outlive the trainer).
@@ -42,6 +52,7 @@ class OnlineSaeTrainer {
   SparseAutoencoder& model_;
   Config config_;
   la::Vector y_, z_, d2_, d1_, rho_hat_;
+  std::int64_t epochs_run_ = 0;
 };
 
 }  // namespace deepphi::core

@@ -7,6 +7,9 @@
 #include "core/rbm_loops.hpp"
 #include "core/rbm_taskgraph.hpp"
 #include "data/chunk_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -85,6 +88,7 @@ class DeviceReservation {
 template <typename StepFn>
 TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
                               double model_bytes, StepFn&& step) {
+  DEEPPHI_PROFILE_SCOPE("trainer.run");
   DEEPPHI_CHECK_MSG(dataset.dim() == dim,
                     "dataset dim " << dataset.dim() << " != model visible "
                                    << dim);
@@ -118,10 +122,18 @@ TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
     stream_cfg.background = async_loading;
     stream_cfg.ring_chunks = config_.ring_chunks;
     data::ChunkStream stream(dataset, stream_cfg);
+    const std::int64_t epoch_first_chunk = report.chunks;
+    const double epoch_start_s = timer.seconds();
 
     while (!stop) {
       auto chunk = stream.next();
       if (!chunk) break;
+      DEEPPHI_PROFILE_SCOPE("trainer.chunk");
+      // How far ahead the Fig. 5 loading thread is right after this pop.
+      const std::size_t ring_buffered = stream.buffered();
+      static obs::Gauge& ring_gauge = obs::gauge("train.ring_buffered");
+      ring_gauge.set(static_cast<double>(ring_buffered));
+      util::Timer chunk_timer;
       // The chunk crosses the host→device link (Fig. 5).
       const double chunk_bytes = 4.0 * static_cast<double>(chunk->size());
       phi::record(phi::h2d_contribution(chunk_bytes));
@@ -143,6 +155,7 @@ TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
         phi::StatsScope chunk_scope(chunk_stats);
         for (la::Index begin = 0; begin < chunk->rows();
              begin += config_.batch_size) {
+          DEEPPHI_PROFILE_SCOPE("trainer.batch");
           const la::Index count =
               std::min(config_.batch_size, chunk->rows() - begin);
           slice_batch(*chunk, begin, count, batch);
@@ -164,18 +177,76 @@ TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
       }
 
       report.batches += chunk_batches;
-      ++report.chunks;
+      static obs::Counter& batches_counter = obs::counter("train.batches");
+      batches_counter.add(chunk_batches);
+      const double chunk_wall_s = chunk_timer.seconds();
+      report.chunk_wall_seconds.push_back(chunk_wall_s);
       const double chunk_mean = chunk_cost / static_cast<double>(chunk_batches);
       report.chunk_mean_costs.push_back(chunk_mean);
+      if (config_.telemetry) {
+        using obs::TelemetryField;
+        config_.telemetry->emit(
+            "chunk",
+            {TelemetryField::integer("chunk", report.chunks),
+             TelemetryField::integer("epoch", epoch),
+             TelemetryField::integer("batches", chunk_batches),
+             TelemetryField::num("mean_cost", chunk_mean),
+             TelemetryField::num("wall_s", chunk_wall_s),
+             TelemetryField::num("batches_per_s",
+                                 chunk_wall_s > 0
+                                     ? static_cast<double>(chunk_batches) /
+                                           chunk_wall_s
+                                     : 0.0),
+             TelemetryField::num("gflops_per_s",
+                                 chunk_wall_s > 0
+                                     ? chunk_stats.total_flops() / chunk_wall_s /
+                                           1e9
+                                     : 0.0),
+             TelemetryField::integer(
+                 "ring_buffered", static_cast<std::int64_t>(ring_buffered))});
+      }
+      ++report.chunks;
       // Algorithm 1's stop condition.
       if (config_.target_cost > 0 && chunk_mean <= config_.target_cost)
         stop = true;
       if (config_.max_batches > 0 && report.batches >= config_.max_batches)
         stop = true;
     }
+
+    if (config_.telemetry) {
+      using obs::TelemetryField;
+      const std::int64_t epoch_chunks = report.chunks - epoch_first_chunk;
+      double epoch_cost = 0;
+      for (std::int64_t k = epoch_first_chunk; k < report.chunks; ++k)
+        epoch_cost += report.chunk_mean_costs[static_cast<std::size_t>(k)];
+      config_.telemetry->emit(
+          "epoch",
+          {TelemetryField::integer("epoch", epoch),
+           TelemetryField::integer("chunks", epoch_chunks),
+           TelemetryField::num("mean_cost",
+                               epoch_chunks > 0
+                                   ? epoch_cost /
+                                         static_cast<double>(epoch_chunks)
+                                   : 0.0),
+           TelemetryField::num("wall_s", timer.seconds() - epoch_start_s)});
+    }
   }
 
   report.wall_seconds = timer.seconds();
+  if (config_.telemetry) {
+    using obs::TelemetryField;
+    config_.telemetry->emit_metrics(
+        "run_summary",
+        {TelemetryField::integer("chunks", report.chunks),
+         TelemetryField::integer("batches", report.batches),
+         TelemetryField::num("final_cost", report.final_cost),
+         TelemetryField::num("wall_s", report.wall_seconds),
+         TelemetryField::num("gflops_per_s",
+                             report.wall_seconds > 0
+                                 ? report.stats.total_flops() /
+                                       report.wall_seconds / 1e9
+                                 : 0.0)});
+  }
   return report;
 }
 

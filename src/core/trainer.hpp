@@ -26,6 +26,10 @@
 #include "phi/device.hpp"
 #include "phi/offload.hpp"
 
+namespace deepphi::obs {
+class TelemetrySink;
+}
+
 namespace deepphi::core {
 
 struct TrainerConfig {
@@ -57,6 +61,11 @@ struct TrainerConfig {
   /// and one compute event per chunk of training. The populated trace is
   /// available on the device afterwards. The device must outlive train().
   phi::Device* device = nullptr;
+  /// Optional JSONL telemetry sink: train() emits one record per chunk
+  /// (cost, batches/s, GF/s, ring occupancy, wall seconds), one per epoch,
+  /// and a run_summary with the metrics-registry snapshot. The sink must
+  /// outlive train(). Null disables emission at zero cost.
+  obs::TelemetrySink* telemetry = nullptr;
 };
 
 struct TrainReport {
@@ -67,6 +76,10 @@ struct TrainReport {
   double chunk_bytes = 0;       // bytes of one full chunk
   phi::KernelStats stats;       // measured work, including h2d transfers
   double wall_seconds = 0;      // actual host wall time of the run
+  /// Measured host wall seconds of each chunk's training (same indexing as
+  /// chunk_mean_costs) — the real-timeline counterpart of the per-chunk
+  /// predictions phi::Offload::process_chunks makes for simulate().
+  std::vector<double> chunk_wall_seconds;
 
   /// Compute-only work of an average chunk (transfers stripped) — the
   /// quantity phi::Offload::process_chunks consumes.

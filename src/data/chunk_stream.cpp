@@ -1,6 +1,9 @@
 #include "data/chunk_stream.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace deepphi::data {
 
@@ -9,6 +12,9 @@ ChunkStream::ChunkStream(const Dataset& dataset, ChunkStreamConfig config)
   DEEPPHI_CHECK_MSG(config_.chunk_examples >= 1,
                     "chunk_examples must be >= 1, got " << config_.chunk_examples);
   if (config_.background) {
+    DEEPPHI_DEBUG() << "chunk stream: background loading thread, ring of "
+                    << config_.ring_chunks << " x " << config_.chunk_examples
+                    << "-example chunks";
     pipeline_ = std::make_unique<par::ChunkPipeline<la::Matrix>>(
         config_.ring_chunks, [this] { return produce(); });
   }
@@ -28,8 +34,17 @@ std::optional<la::Matrix> ChunkStream::produce() {
 }
 
 std::optional<la::Matrix> ChunkStream::next() {
-  if (pipeline_) return pipeline_->pop();
-  return produce();
+  DEEPPHI_PROFILE_SCOPE("chunk_stream.next");
+  std::optional<la::Matrix> chunk = pipeline_ ? pipeline_->pop() : produce();
+  if (chunk) {
+    static obs::Counter& loaded = obs::counter("data.chunks_loaded");
+    loaded.add();
+  }
+  return chunk;
+}
+
+std::size_t ChunkStream::buffered() const {
+  return pipeline_ ? pipeline_->buffered() : 0;
 }
 
 Index ChunkStream::total_chunks() const {

@@ -34,6 +34,10 @@ class ChunkStream {
   /// Next chunk (rows×dim matrix) or nullopt when the pass is done.
   std::optional<la::Matrix> next();
 
+  /// Chunks buffered ahead of the consumer by the Fig. 5 loading thread
+  /// (0 in synchronous mode) — the ring occupancy telemetry records.
+  std::size_t buffered() const;
+
   Index chunk_examples() const { return config_.chunk_examples; }
   Index total_chunks() const;
 

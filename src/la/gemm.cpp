@@ -8,6 +8,8 @@
 #endif
 
 #include "la/pack_arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "phi/kernel_stats.hpp"
 
 namespace deepphi::la {
@@ -196,6 +198,10 @@ void apply_beta_epilogue(Matrix& c, float beta, const GemmEpilogue& ep) {
 // the streamed reads of `act`. Recorded only when run_blocked actually fuses;
 // the degenerate path records record_beta_epilogue_pass instead.
 void record_epilogue(const GemmEpilogue& ep, Index m, Index n) {
+  if (ep.op != EpilogueOp::kNone) {
+    static obs::Counter& fused = obs::counter("gemm.fused_epilogues");
+    fused.add();
+  }
   switch (ep.op) {
     case EpilogueOp::kNone:
       return;
@@ -318,6 +324,7 @@ void run_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
 void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
                   const Matrix& b, float beta, Matrix& c,
                   const GemmBlocking& bl, const GemmEpilogue& ep) {
+  DEEPPHI_PROFILE_SCOPE("gemm");
   const Index m = trans_a == Trans::kNo ? a.rows() : a.cols();
   const Index ka = trans_a == Trans::kNo ? a.cols() : a.rows();
   const Index kb = trans_b == Trans::kNo ? b.rows() : b.cols();

@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace deepphi::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+struct Entry {
+  Entry(std::string n, MetricSample::Kind k) : name(std::move(n)), kind(k) {}
+  std::string name;
+  MetricSample::Kind kind;
+  Counter counter;
+  Gauge gauge;
+};
+
+struct RegistryState {
+  std::mutex mutex;
+  // list: stable addresses as it grows, and no move requirement on the
+  // atomic-holding Entry.
+  std::list<Entry> entries;
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState;  // leaked: outlives statics
+  return *s;
+}
+
+Entry& find_or_create(const std::string& name, MetricSample::Kind kind) {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (Entry& e : s.entries) {
+    if (e.name == name) {
+      DEEPPHI_CHECK_MSG(e.kind == kind,
+                        "metric '" << name << "' already registered as a "
+                                   << (e.kind == MetricSample::Kind::kCounter
+                                           ? "counter"
+                                           : "gauge"));
+      return e;
+    }
+  }
+  s.entries.emplace_back(name, kind);
+  return s.entries.back();
+}
+
+}  // namespace
+
+namespace metrics {
+
+void set_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+std::vector<MetricSample> snapshot() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<MetricSample> out;
+  out.reserve(s.entries.size());
+  for (const Entry& e : s.entries) {
+    const double v = e.kind == MetricSample::Kind::kCounter
+                         ? static_cast<double>(e.counter.value())
+                         : e.gauge.value();
+    out.push_back(MetricSample{e.name, e.kind, v});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void reset_all() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (Entry& e : s.entries) {
+    e.counter.reset();
+    e.gauge.reset();
+  }
+}
+
+}  // namespace metrics
+
+void Gauge::set_max(double v) {
+  if (!metrics::enabled()) return;
+  double cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Counter& counter(const std::string& name) {
+  return find_or_create(name, MetricSample::Kind::kCounter).counter;
+}
+
+Gauge& gauge(const std::string& name) {
+  return find_or_create(name, MetricSample::Kind::kGauge).gauge;
+}
+
+}  // namespace deepphi::obs

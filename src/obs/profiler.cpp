@@ -1,0 +1,280 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "phi/trace.hpp"
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+
+namespace deepphi::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// One per thread that ever recorded. Owned jointly by the registry and the
+// thread-local handle so spans survive thread exit.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Span> spans;
+  std::string name;
+  std::uint32_t index = 0;
+  std::uint32_t depth = 0;  // only touched by the owning thread
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static teardown
+  return *r;
+}
+
+std::chrono::steady_clock::time_point epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    b->index = static_cast<std::uint32_t>(reg.buffers.size());
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void Profiler::enable(bool on) {
+  if (on) (void)epoch();  // pin the epoch before the first span
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Profiler::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+double Profiler::now_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch())
+      .count();
+}
+
+void Profiler::clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->spans.clear();
+  }
+}
+
+std::vector<Span> Profiler::snapshot() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    buffers = reg.buffers;
+  }
+  std::vector<Span> out;
+  for (auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mutex);
+    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_s < b.start_s;
+  });
+  return out;
+}
+
+std::string Profiler::thread_name(std::uint32_t index) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (index < reg.buffers.size()) {
+    std::lock_guard<std::mutex> buf_lock(reg.buffers[index]->mutex);
+    if (!reg.buffers[index]->name.empty()) return reg.buffers[index]->name;
+  }
+  return "thread-" + std::to_string(index);
+}
+
+std::uint32_t Profiler::thread_count() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return static_cast<std::uint32_t>(reg.buffers.size());
+}
+
+std::vector<SpanStats> Profiler::aggregate() {
+  const std::vector<Span> spans = snapshot();
+  // Group durations by label. Labels are pointers to static strings, but two
+  // translation units may hold distinct pointers to equal text — group by
+  // string value.
+  struct Group {
+    std::vector<double> durations;
+  };
+  std::vector<std::pair<std::string, Group>> groups;
+  for (const Span& s : spans) {
+    const std::string label = s.label;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == label; });
+    if (it == groups.end()) {
+      groups.push_back({label, {}});
+      it = groups.end() - 1;
+    }
+    it->second.durations.push_back(s.duration_s());
+  }
+
+  std::vector<SpanStats> out;
+  out.reserve(groups.size());
+  for (auto& [label, group] : groups) {
+    std::vector<double>& d = group.durations;
+    std::sort(d.begin(), d.end());
+    SpanStats st;
+    st.label = label;
+    st.count = static_cast<std::int64_t>(d.size());
+    for (double v : d) st.total_s += v;
+    st.min_s = d.front();
+    st.max_s = d.back();
+    auto quantile = [&](double q) {
+      const std::size_t i = static_cast<std::size_t>(
+          q * static_cast<double>(d.size() - 1) + 0.5);
+      return d[std::min(i, d.size() - 1)];
+    };
+    st.p50_s = quantile(0.50);
+    st.p95_s = quantile(0.95);
+    out.push_back(std::move(st));
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    return a.total_s > b.total_s;
+  });
+  return out;
+}
+
+std::string Profiler::report() {
+  const std::vector<SpanStats> stats = aggregate();
+  if (stats.empty()) return "";
+  std::ostringstream os;
+  os << "label                         count     total_ms      p50_ms      "
+        "p95_ms      max_ms\n";
+  char line[160];
+  for (const SpanStats& s : stats) {
+    std::snprintf(line, sizeof line, "%-28s %6lld %12.3f %11.4f %11.4f %11.4f\n",
+                  s.label.c_str(), static_cast<long long>(s.count),
+                  s.total_s * 1e3, s.p50_s * 1e3, s.p95_s * 1e3, s.max_s * 1e3);
+    os << line;
+  }
+  return os.str();
+}
+
+std::string Profiler::to_chrome_json(const phi::Trace* simulated) {
+  const std::vector<Span> spans = snapshot();
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // pid 1: the measured host run, one tid per registered thread.
+  constexpr int kHostPid = 1;
+  for (const Span& s : spans) {
+    w.begin_object();
+    w.member("name", s.label);
+    w.member("ph", "X");
+    w.member("pid", kHostPid);
+    w.member("tid", static_cast<std::int64_t>(s.thread_index) + 1);
+    w.member("ts", s.start_s * 1e6);
+    w.member("dur", s.duration_s() * 1e6);
+    w.end_object();
+  }
+  w.begin_object();
+  w.member("name", "process_name").member("ph", "M").member("pid", kHostPid);
+  w.key("args").begin_object().member("name", "host (measured)").end_object();
+  w.end_object();
+  const std::uint32_t threads = thread_count();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    w.begin_object();
+    w.member("name", "thread_name").member("ph", "M").member("pid", kHostPid);
+    w.member("tid", static_cast<std::int64_t>(t) + 1);
+    w.key("args").begin_object().member("name", thread_name(t)).end_object();
+    w.end_object();
+  }
+
+  // pid 2: the simulated device timeline (compute + DMA tracks), so modeled
+  // overlap sits next to measured overlap in the same Perfetto view.
+  if (simulated != nullptr) {
+    constexpr int kSimPid = 2;
+    for (const auto& e : simulated->events()) {
+      w.begin_object();
+      w.member("name", e.name);
+      w.member("ph", "X");
+      w.member("pid", kSimPid);
+      w.member("tid",
+               e.resource == phi::TraceEvent::Resource::kCompute ? 1 : 2);
+      w.member("ts", e.start_s * 1e6);
+      w.member("dur", e.duration_s() * 1e6);
+      w.end_object();
+    }
+    w.begin_object();
+    w.member("name", "process_name").member("ph", "M").member("pid", kSimPid);
+    w.key("args").begin_object().member("name", "phi (simulated)").end_object();
+    w.end_object();
+    for (int tid = 1; tid <= 2; ++tid) {
+      w.begin_object();
+      w.member("name", "thread_name").member("ph", "M").member("pid", kSimPid);
+      w.member("tid", tid);
+      w.key("args")
+          .begin_object()
+          .member("name", tid == 1 ? "compute (simulated)" : "dma (simulated)")
+          .end_object();
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+void Profiler::write_chrome_json(const std::string& path,
+                                 const phi::Trace* simulated) {
+  std::ofstream out(path);
+  DEEPPHI_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << to_chrome_json(simulated);
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.name = name;
+}
+
+namespace detail {
+
+std::uint32_t scope_enter() {
+  ThreadBuffer& buf = local_buffer();
+  return buf.depth++;  // owning thread only; no lock needed
+}
+
+void scope_exit(const char* label, double start_s, std::uint32_t depth) {
+  const double end_s = Profiler::now_s();
+  ThreadBuffer& buf = local_buffer();
+  buf.depth = depth;  // restore (also heals depth if clear() raced a scope)
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.spans.push_back(Span{label, start_s, end_s, buf.index, depth});
+}
+
+}  // namespace detail
+
+}  // namespace deepphi::obs

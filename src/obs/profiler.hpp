@@ -1,0 +1,151 @@
+// Scoped wall-clock profiler for the REAL host execution — the measured
+// counterpart of the simulated phi::Trace timeline. The simulator answers
+// "what would this work cost on a 2013 Xeon Phi"; this profiler answers
+// "what did it actually cost here, on which thread, overlapping what" — the
+// measurement side of the paper's Fig. 5 argument (is the loading thread's
+// chunk materialization really hidden under compute?).
+//
+// Usage:
+//   obs::Profiler::enable(true);
+//   { DEEPPHI_PROFILE_SCOPE("gemm"); la::gemm(...); }   // one span
+//   obs::Profiler::write_chrome_json("out.json");       // Perfetto-loadable
+//
+// Design constraints:
+//  * Disabled cost ≈ one relaxed atomic load per scope — the macro stays in
+//    hot paths (gemm, pool tasks) unconditionally.
+//  * Thread-local span buffers: a scope's end pushes into its own thread's
+//    buffer under that buffer's (uncontended) mutex, so concurrent snapshots
+//    are race-free even while worker threads are still emitting.
+//  * Labels are const char* with static storage duration (string literals) —
+//    no allocation on the hot path.
+//  * Hierarchy: each span records its nesting depth on its thread, so the
+//    Chrome trace nests child scopes under parents on the same track.
+//
+// The Chrome-trace export emits one pid for the measured host run (one tid
+// per registered thread: main, loading, pool workers) and, when a simulated
+// phi::Trace is supplied, a second pid with the modeled compute/DMA tracks —
+// load both in https://ui.perfetto.dev to compare real against modeled
+// overlap side by side.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepphi::phi {
+class Trace;
+}
+
+namespace deepphi::obs {
+
+/// One completed scope on one thread. Times are seconds since the process
+/// profiling epoch (first use of the profiler clock).
+struct Span {
+  const char* label;       // static-storage string (macro passes a literal)
+  double start_s;
+  double end_s;
+  std::uint32_t thread_index;  // dense per-process index, 0 = first registered
+  std::uint32_t depth;         // nesting depth on that thread at entry
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// Post-run aggregate over all spans sharing a label.
+struct SpanStats {
+  std::string label;
+  std::int64_t count = 0;
+  double total_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+};
+
+class Profiler {
+ public:
+  /// Globally arms/disarms span collection. Off by default.
+  static void enable(bool on);
+  static bool enabled();
+
+  /// Drops all collected spans (thread registrations survive).
+  static void clear();
+
+  /// Copies out every span collected so far, across all threads (including
+  /// threads that have since exited). Safe to call while other threads are
+  /// still recording; spans in flight at the call are simply not included.
+  static std::vector<Span> snapshot();
+
+  /// Human name of thread `index` as assigned by set_thread_name(), or
+  /// "thread-N" if it was never named.
+  static std::string thread_name(std::uint32_t index);
+
+  /// Number of threads that have recorded at least one span or a name.
+  static std::uint32_t thread_count();
+
+  /// Per-label aggregation of snapshot(): count/total/min/max/p50/p95,
+  /// sorted by descending total time.
+  static std::vector<SpanStats> aggregate();
+
+  /// aggregate() rendered as an aligned text table (empty string if no spans).
+  static std::string report();
+
+  /// Chrome-trace JSON of the measured host timeline; when `simulated` is
+  /// non-null its compute/DMA tracks are merged in under a second pid so the
+  /// real and modeled timelines load together.
+  static std::string to_chrome_json(const phi::Trace* simulated = nullptr);
+
+  /// Writes to_chrome_json() to `path`; throws util::Error on I/O failure.
+  static void write_chrome_json(const std::string& path,
+                                const phi::Trace* simulated = nullptr);
+
+  /// Seconds on the profiling clock (monotonic, shared epoch across threads).
+  static double now_s();
+};
+
+/// Names the calling thread in profiler exports ("main", "loading",
+/// "pool-3"). Idempotent; also registers the thread if it has not recorded
+/// any span yet.
+void set_thread_name(const std::string& name);
+
+namespace detail {
+
+/// Appends a finished span for the calling thread. `depth` management and
+/// buffer registration live here so the RAII class stays trivial.
+std::uint32_t scope_enter();                 // returns entry depth
+void scope_exit(const char* label, double start_s, std::uint32_t depth);
+
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* label) {
+    if (!Profiler::enabled()) return;
+    active_ = true;
+    label_ = label;
+    depth_ = scope_enter();
+    start_s_ = Profiler::now_s();
+  }
+  ~ProfileScope() {
+    if (active_) scope_exit(label_, start_s_, depth_);
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* label_ = nullptr;
+  double start_s_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace detail
+
+}  // namespace deepphi::obs
+
+#define DEEPPHI_OBS_CONCAT2(a, b) a##b
+#define DEEPPHI_OBS_CONCAT(a, b) DEEPPHI_OBS_CONCAT2(a, b)
+
+/// Profiles the enclosing scope under `label` (a string literal / any
+/// static-storage const char*). Near-free while the profiler is disabled.
+#define DEEPPHI_PROFILE_SCOPE(label)                      \
+  ::deepphi::obs::detail::ProfileScope DEEPPHI_OBS_CONCAT( \
+      deepphi_profile_scope_, __LINE__)(label)

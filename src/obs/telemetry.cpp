@@ -1,0 +1,124 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+
+namespace deepphi::obs {
+
+TelemetryField TelemetryField::str(std::string key, std::string v) {
+  TelemetryField f;
+  f.kind = Kind::kString;
+  f.key = std::move(key);
+  f.string_value = std::move(v);
+  return f;
+}
+
+TelemetryField TelemetryField::num(std::string key, double v) {
+  TelemetryField f;
+  f.kind = Kind::kDouble;
+  f.key = std::move(key);
+  f.double_value = v;
+  return f;
+}
+
+TelemetryField TelemetryField::integer(std::string key, std::int64_t v) {
+  TelemetryField f;
+  f.kind = Kind::kInt;
+  f.key = std::move(key);
+  f.int_value = v;
+  return f;
+}
+
+TelemetryField TelemetryField::boolean(std::string key, bool v) {
+  TelemetryField f;
+  f.kind = Kind::kBool;
+  f.key = std::move(key);
+  f.bool_value = v;
+  return f;
+}
+
+namespace {
+
+void write_fields(util::JsonWriter& w, const std::vector<TelemetryField>& fields) {
+  for (const TelemetryField& f : fields) {
+    w.key(f.key);
+    switch (f.kind) {
+      case TelemetryField::Kind::kString: w.value(f.string_value); break;
+      case TelemetryField::Kind::kDouble: w.value(f.double_value); break;
+      case TelemetryField::Kind::kInt: w.value(f.int_value); break;
+      case TelemetryField::Kind::kBool: w.value(f.bool_value); break;
+    }
+  }
+}
+
+}  // namespace
+
+TelemetrySink::TelemetrySink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      os_(owned_.get()) {
+  DEEPPHI_CHECK_MSG(os_->good(),
+                    "cannot open telemetry path '" << path << "' for writing");
+}
+
+TelemetrySink::TelemetrySink(std::ostream& os) : os_(&os) {}
+
+TelemetrySink::~TelemetrySink() { flush(); }
+
+void TelemetrySink::emit(const std::string& record_type,
+                         const std::vector<TelemetryField>& fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.member("record", record_type);
+  w.member("seq", seq_);
+  write_fields(w, fields);
+  w.end_object();
+  (*os_) << os.str() << '\n';
+  ++seq_;
+}
+
+void TelemetrySink::emit_run_header(const std::string& program,
+                                    const std::vector<TelemetryField>& fields) {
+  std::vector<TelemetryField> all;
+  all.push_back(TelemetryField::str("schema", kTelemetrySchema));
+  all.push_back(TelemetryField::str("program", program));
+  all.insert(all.end(), fields.begin(), fields.end());
+  emit("run_header", all);
+}
+
+void TelemetrySink::emit_metrics(const std::string& record_type,
+                                 const std::vector<TelemetryField>& fields) {
+  // Snapshot before taking the sink lock (snapshot takes the registry lock).
+  const std::vector<MetricSample> samples = metrics::snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.member("record", record_type);
+  w.member("seq", seq_);
+  write_fields(w, fields);
+  w.key("metrics");
+  w.begin_object();
+  for (const MetricSample& m : samples) w.member(m.name, m.value);
+  w.end_object();
+  w.end_object();
+  (*os_) << os.str() << '\n';
+  ++seq_;
+}
+
+std::int64_t TelemetrySink::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+void TelemetrySink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->flush();
+}
+
+}  // namespace deepphi::obs

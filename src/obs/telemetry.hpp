@@ -1,0 +1,88 @@
+// JSONL run telemetry: one JSON object per line, one line per event — the
+// machine-readable training log the paper's methodology implies (per-chunk
+// wall time and throughput are what substantiate the Fig. 5 overlap and the
+// Table I ladder) and Bengio's practical recommendations make explicit for
+// diagnosing optimization (per-epoch cost trajectories).
+//
+// Record schema (all records):
+//   {"record": "<type>", "seq": <int>, ...}
+// Types emitted by the library:
+//   run_header — once, first line: schema version, program, machine/thread
+//                and config metadata supplied by the caller.
+//   chunk      — per training chunk: index, epoch, batches, mean cost,
+//                wall seconds, batches/s, GF/s (from KernelStats), ring-buffer
+//                occupancy when the Fig. 5 loading thread is active.
+//   epoch      — per epoch (mini-batch trainer and online SGD).
+//   run_summary— once at the end of a Trainer run: totals plus a dump of the
+//                obs:: metrics registry.
+//
+// The sink is thread-safe (one mutex around each line write) and cheap to
+// leave null: every producer checks the pointer first. Tests point it at a
+// string stream via the ostream constructor and validate the schema.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deepphi::obs {
+
+/// Key/value metadata attached to records. Values keep their JSON type.
+struct TelemetryField {
+  enum class Kind { kString, kDouble, kInt, kBool } kind;
+  std::string key;
+  std::string string_value;
+  double double_value = 0;
+  std::int64_t int_value = 0;
+  bool bool_value = false;
+
+  static TelemetryField str(std::string key, std::string v);
+  static TelemetryField num(std::string key, double v);
+  static TelemetryField integer(std::string key, std::int64_t v);
+  static TelemetryField boolean(std::string key, bool v);
+};
+
+inline constexpr const char* kTelemetrySchema = "deepphi.telemetry.v1";
+
+class TelemetrySink {
+ public:
+  /// Appending file sink; throws util::Error if the file cannot be opened.
+  explicit TelemetrySink(const std::string& path);
+  /// Stream sink (tests); `os` must outlive the sink.
+  explicit TelemetrySink(std::ostream& os);
+  ~TelemetrySink();
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  /// Emits one `{"record": type, "seq": n, fields...}` line. Thread-safe.
+  void emit(const std::string& record_type,
+            const std::vector<TelemetryField>& fields);
+
+  /// Emits the run_header record (schema/program plus caller metadata).
+  /// Conventionally the first line of a telemetry file.
+  void emit_run_header(const std::string& program,
+                       const std::vector<TelemetryField>& fields);
+
+  /// Emits a record carrying the current obs:: metrics registry snapshot as
+  /// a nested object, plus `fields`.
+  void emit_metrics(const std::string& record_type,
+                    const std::vector<TelemetryField>& fields);
+
+  /// Lines written so far.
+  std::int64_t records_written() const;
+
+  void flush();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  std::int64_t seq_ = 0;
+};
+
+}  // namespace deepphi::obs

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::par {
@@ -13,6 +14,7 @@ void parallel_for_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                          std::int64_t grain,
                          const std::function<void(std::int64_t, std::int64_t)>& body,
                          Schedule schedule) {
+  DEEPPHI_PROFILE_SCOPE("parallel_for");
   DEEPPHI_CHECK_MSG(grain >= 1, "grain must be >= 1, got " << grain);
   DEEPPHI_CHECK(body != nullptr);
   if (begin >= end) return;

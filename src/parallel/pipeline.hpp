@@ -16,6 +16,8 @@
 #include <optional>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::par {
@@ -85,10 +87,22 @@ class ChunkPipeline {
       : queue_(buffer_chunks) {
     DEEPPHI_CHECK(produce != nullptr);
     loader_ = std::thread([this, produce = std::move(produce)]() mutable {
+      // The paper's Fig. 5 loading thread — named so the profiler's host
+      // timeline shows its chunk materialization next to compute.
+      obs::set_thread_name("loading");
+      static obs::Gauge& occupancy = obs::gauge("pipeline.peak_buffered");
       for (;;) {
-        std::optional<T> item = produce();
+        std::optional<T> item;
+        {
+          DEEPPHI_PROFILE_SCOPE("pipeline.produce");
+          item = produce();
+        }
         if (!item.has_value()) break;
-        if (!queue_.push(std::move(*item))) break;  // consumer aborted
+        {
+          DEEPPHI_PROFILE_SCOPE("pipeline.push_wait");
+          if (!queue_.push(std::move(*item))) break;  // consumer aborted
+        }
+        occupancy.set_max(static_cast<double>(queue_.size()));
       }
       queue_.close();
     });

@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::par {
@@ -11,7 +13,10 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::set_thread_name("pool-" + std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -57,7 +62,12 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();  // packaged_task captures exceptions into the future
+    {
+      DEEPPHI_PROFILE_SCOPE("pool.task");
+      task();  // packaged_task captures exceptions into the future
+    }
+    static obs::Counter& tasks = obs::counter("pool.tasks_executed");
+    tasks.add();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

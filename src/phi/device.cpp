@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace deepphi::phi {
 
 Device::Device(MachineSpec spec, int threads) : model_(std::move(spec)) {
   set_threads(threads == 0 ? this->spec().max_threads() : threads);
+  DEEPPHI_DEBUG() << "device ready: " << this->spec().name << ", "
+                  << threads_ << " threads";
 }
 
 void Device::set_threads(int threads) {

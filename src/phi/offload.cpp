@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::phi {
@@ -33,6 +34,7 @@ void Offload::release_ring() {
 
 OffloadReport Offload::process_chunks(int n_chunks, double chunk_bytes,
                                       const KernelStats& per_chunk_stats) {
+  DEEPPHI_PROFILE_SCOPE("offload.process_chunks");
   DEEPPHI_CHECK_MSG(n_chunks >= 0, "negative chunk count");
   OffloadReport report;
   report.chunks.reserve(static_cast<std::size_t>(n_chunks));

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/json_writer.hpp"
 
 namespace deepphi::phi {
 
@@ -64,29 +65,31 @@ std::string Trace::to_string(std::size_t max_events) const {
 
 std::string Trace::to_chrome_json() const {
   std::ostringstream os;
-  os << "[";
-  bool first = true;
+  util::JsonWriter w(os);
+  w.begin_array();
   for (const auto& e : events_) {
-    if (!first) os << ",";
-    first = false;
-    // Minimal escaping: event names are library-generated and contain no
-    // quotes/backslashes, but guard anyway.
-    std::string name;
-    for (char c : e.name)
-      if (c != '"' && c != '\\') name += c;
-    os << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
-       << (e.resource == TraceEvent::Resource::kCompute ? 1 : 2)
-       << ",\"ts\":" << e.start_s * 1e6 << ",\"dur\":" << e.duration_s() * 1e6
-       << "}";
+    w.begin_object();
+    w.member("name", e.name);  // JsonWriter escapes quotes/backslashes
+    w.member("ph", "X");
+    w.member("pid", 1);
+    w.member("tid", e.resource == TraceEvent::Resource::kCompute ? 1 : 2);
+    w.member("ts", e.start_s * 1e6);
+    w.member("dur", e.duration_s() * 1e6);
+    w.end_object();
   }
   // Name the tracks.
   if (!events_.empty()) {
-    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
-          "\"args\":{\"name\":\"compute\"}}";
-    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
-          "\"args\":{\"name\":\"dma\"}}";
+    for (int tid = 1; tid <= 2; ++tid) {
+      w.begin_object();
+      w.member("name", "thread_name").member("ph", "M").member("pid", 1);
+      w.member("tid", tid);
+      w.key("args").begin_object();
+      w.member("name", tid == 1 ? "compute" : "dma");
+      w.end_object();
+      w.end_object();
+    }
   }
-  os << "]";
+  w.end_array();
   return os.str();
 }
 

@@ -38,6 +38,10 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw access for non-CSV serializers (bench --json output).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

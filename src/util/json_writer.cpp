@@ -1,0 +1,277 @@
+#include "util/json_writer.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace deepphi::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    DEEPPHI_CHECK_MSG(!top_level_written_,
+                      "JsonWriter: second top-level value");
+    top_level_written_ = true;
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    DEEPPHI_CHECK_MSG(key_pending_, "JsonWriter: value inside object needs key()");
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DEEPPHI_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject &&
+                        !key_pending_,
+                    "JsonWriter: mismatched end_object()");
+  os_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DEEPPHI_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                    "JsonWriter: mismatched end_array()");
+  os_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  DEEPPHI_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject &&
+                        !key_pending_,
+                    "JsonWriter: key() outside object or after another key()");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  os_ << '"' << json_escape(name) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+bool JsonWriter::done() const { return top_level_written_ && stack_.empty(); }
+
+// --- validator -------------------------------------------------------------
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos;
+  }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+bool parse_value(Cursor& c);
+
+bool parse_string(Cursor& c) {
+  if (!c.consume('"')) return false;
+  while (!c.eof()) {
+    const unsigned char ch = static_cast<unsigned char>(c.text[c.pos++]);
+    if (ch == '"') return true;
+    if (ch < 0x20) return false;  // raw control char
+    if (ch == '\\') {
+      if (c.eof()) return false;
+      const char esc = c.text[c.pos++];
+      switch (esc) {
+        case '"': case '\\': case '/': case 'b': case 'f':
+        case 'n': case 'r': case 't':
+          break;
+        case 'u': {
+          for (int i = 0; i < 4; ++i) {
+            if (c.eof() || !std::isxdigit(static_cast<unsigned char>(c.peek())))
+              return false;
+            ++c.pos;
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_number(Cursor& c) {
+  const std::size_t start = c.pos;
+  c.consume('-');
+  if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+  while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.pos;
+  if (c.consume('.')) {
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.pos;
+  }
+  if (!c.eof() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.pos;
+    if (!c.eof() && (c.peek() == '+' || c.peek() == '-')) ++c.pos;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.pos;
+  }
+  return c.pos > start;
+}
+
+bool parse_literal(Cursor& c, std::string_view word) {
+  if (c.text.substr(c.pos, word.size()) != word) return false;
+  c.pos += word.size();
+  return true;
+}
+
+bool parse_object(Cursor& c) {
+  if (!c.consume('{')) return false;
+  c.skip_ws();
+  if (c.consume('}')) return true;
+  for (;;) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.consume(':')) return false;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume('}')) return true;
+    if (!c.consume(',')) return false;
+  }
+}
+
+bool parse_array(Cursor& c) {
+  if (!c.consume('[')) return false;
+  c.skip_ws();
+  if (c.consume(']')) return true;
+  for (;;) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume(']')) return true;
+    if (!c.consume(',')) return false;
+  }
+}
+
+bool parse_value(Cursor& c) {
+  if (++c.depth > 512) return false;  // runaway nesting
+  c.skip_ws();
+  if (c.eof()) return false;
+  bool ok = false;
+  switch (c.peek()) {
+    case '{': ok = parse_object(c); break;
+    case '[': ok = parse_array(c); break;
+    case '"': ok = parse_string(c); break;
+    case 't': ok = parse_literal(c, "true"); break;
+    case 'f': ok = parse_literal(c, "false"); break;
+    case 'n': ok = parse_literal(c, "null"); break;
+    default: ok = parse_number(c); break;
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace
+
+bool json_is_valid(std::string_view text) {
+  Cursor c{text};
+  if (!parse_value(c)) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace deepphi::util

@@ -2,13 +2,35 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+
+#include "util/string_util.hpp"
 
 namespace deepphi::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel initial_level() {
+  LogLevel level = LogLevel::kInfo;
+  if (const char* env = std::getenv("DEEPPHI_LOG_LEVEL")) {
+    if (!parse_log_level(env, level))
+      std::fprintf(stderr,
+                   "[WARN ] unknown DEEPPHI_LOG_LEVEL '%s' "
+                   "(debug|info|warn|error|off); using info\n",
+                   env);
+  }
+  return level;
+}
+
+std::atomic<LogLevel>& level_flag() {
+  static std::atomic<LogLevel> g_level{initial_level()};
+  return g_level;
+}
+
 std::mutex g_mutex;
+LogSink g_sink;  // empty = stderr; guarded by g_mutex
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,16 +41,60 @@ const char* level_name(LogLevel level) {
     default: return "?????";
   }
 }
+
+// ISO-8601 UTC with millisecond precision: 2026-08-06T12:34:56.789Z.
+std::string iso8601_now() {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char buf[40];
+  const std::size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + n, sizeof buf - n, ".%03ldZ", ts.tv_nsec / 1000000);
+  return buf;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  level_flag().store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() { return level_flag().load(std::memory_order_relaxed); }
+
+bool parse_log_level(const std::string& name, LogLevel& out) {
+  const std::string v = to_lower(name);
+  if (v == "debug") out = LogLevel::kDebug;
+  else if (v == "info") out = LogLevel::kInfo;
+  else if (v == "warn" || v == "warning") out = LogLevel::kWarn;
+  else if (v == "error") out = LogLevel::kError;
+  else if (v == "off" || v == "none") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "%s [%s] [t%02d] ",
+                iso8601_now().c_str(), level_name(level), log_thread_id());
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (g_sink) {
+    g_sink(level, prefix + message);
+  } else {
+    std::fprintf(stderr, "%s%s\n", prefix, message.c_str());
+  }
 }
 
 }  // namespace deepphi::util

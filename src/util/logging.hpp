@@ -1,8 +1,15 @@
 // Minimal leveled logger. Single global sink (stderr by default); thread-safe
 // line-at-a-time output. Benches and examples use INFO; the library itself
 // logs sparingly (device setup, chunk pipeline events at DEBUG).
+//
+// Each line is prefixed "<ISO-8601 UTC timestamp> [LEVEL] [tNN]" where NN is
+// a small dense per-process thread id (assigned in first-log order, 0 = the
+// first logging thread). The initial minimum level honors the
+// DEEPPHI_LOG_LEVEL environment variable (debug|info|warn|error|off); a sink
+// hook lets tests and telemetry capture formatted lines in place of stderr.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -10,12 +17,30 @@ namespace deepphi::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. The startup value
+/// comes from DEEPPHI_LOG_LEVEL when set, else INFO.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Returns false and leaves `out` untouched on unknown names.
+bool parse_log_level(const std::string& name, LogLevel& out);
+
+/// Receives each fully formatted line (timestamp/level/thread prefix
+/// included, no trailing newline). Called under the logging mutex: exactly
+/// one invocation at a time.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the output sink; an empty function restores the default
+/// (stderr). Not thread-safe against concurrent logging — install sinks at
+/// startup or in single-threaded test sections.
+void set_log_sink(LogSink sink);
+
 /// Emits one line (thread-safe). Prefer the macros below.
 void log_line(LogLevel level, const std::string& message);
+
+/// Small dense id of the calling thread as used in log prefixes.
+int log_thread_id();
 
 namespace detail {
 class LogMessage {

@@ -19,7 +19,14 @@ Options Options::parse(int argc, const char* const* argv) {
     const auto eq = body.find('=');
     if (eq == std::string::npos) {
       DEEPPHI_CHECK_MSG(!body.empty(), "empty flag '--'");
-      opts.values_[body] = "true";
+      // "--name value" form: a bare flag followed by a non-flag token takes
+      // that token as its value; a bare flag at the end (or before another
+      // --flag) is boolean true.
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        opts.values_[body] = argv[++i];
+      } else {
+        opts.values_[body] = "true";
+      }
     } else {
       const std::string key = body.substr(0, eq);
       DEEPPHI_CHECK_MSG(!key.empty(), "flag with empty name: '" << arg << "'");

@@ -4,6 +4,9 @@
 // benches to evaluate paper-scale configurations analytically. Also checks
 // the simulated-time orderings the reproduction depends on (the Table I
 // ladder, Phi vs single core, Matlab).
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "baseline/matlab_like.hpp"
@@ -374,6 +377,67 @@ TEST(MatlabAccounting, TrainStatsSumBatches) {
   const phi::KernelStats one = baseline::matlab_sae_batch_stats(shape);
   EXPECT_TRUE(total.approx_equal(one.scaled(10.0), 1e-9));
   EXPECT_EQ(total.transfers, 0);  // host run: no PCIe
+}
+
+// --- real vs predicted per-chunk timelines ---
+
+// TrainReport now carries the measured wall seconds of every chunk; the
+// simulated side predicts per-chunk timings via Offload::process_chunks on
+// the same per-chunk work. The two timelines must agree structurally (one
+// entry per chunk, in order, finite and positive, chunk sum bounded by the
+// run total). Absolute times are machine-dependent, so that part is not
+// asserted.
+TEST(TrainAccounting, ChunkWallSecondsMatchSimulatedChunkTimeline) {
+  const la::Index examples = 256, batch = 16, chunk = 64;
+  data::Dataset patches = data::make_digit_patch_dataset(examples, 4, 9);
+  SaeConfig mcfg;
+  mcfg.visible = 16;
+  mcfg.hidden = 8;
+  SparseAutoencoder model(mcfg, 3);
+
+  phi::Device device(phi::xeon_phi_5110p());
+  TrainerConfig tcfg;
+  tcfg.batch_size = batch;
+  tcfg.chunk_examples = chunk;
+  tcfg.epochs = 2;
+  tcfg.level = OptLevel::kImproved;
+  tcfg.policy = ExecPolicy::kPhiOffload;
+  tcfg.device = &device;
+  const TrainReport report = Trainer(tcfg).train(model, patches);
+
+  ASSERT_GT(report.chunks, 0);
+  ASSERT_EQ(report.chunk_wall_seconds.size(),
+            static_cast<std::size_t>(report.chunks));
+  double chunk_sum = 0;
+  for (double s : report.chunk_wall_seconds) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GT(s, 0.0);
+    chunk_sum += s;
+  }
+  // Chunk training is a subset of the run (setup/teardown excluded), with
+  // a little slack for timer granularity.
+  EXPECT_LE(chunk_sum, report.wall_seconds * 1.05 + 1e-3);
+
+  // The simulated timeline predicts the same number of chunks, each with a
+  // positive compute interval, and their simulated spans sum consistently
+  // with what simulate() reports end-to-end.
+  phi::Device sim_device(phi::xeon_phi_5110p());
+  phi::Offload offload(sim_device, phi::OffloadConfig{true, 4});
+  const phi::OffloadReport predicted = offload.process_chunks(
+      static_cast<int>(report.chunks), report.chunk_bytes,
+      report.per_chunk_compute_stats());
+  ASSERT_EQ(predicted.chunks.size(), report.chunk_wall_seconds.size());
+  for (const phi::ChunkTiming& t : predicted.chunks) {
+    EXPECT_GT(t.compute_end_s, t.compute_start_s);
+    EXPECT_GE(t.compute_start_s, t.transfer_start_s);
+  }
+
+  phi::Device sim_device2(phi::xeon_phi_5110p());
+  const SimulatedTime sim = simulate(report, sim_device2);
+  EXPECT_GT(sim.pipelined_s, 0.0);
+  EXPECT_LE(sim.pipelined_s, sim.serialized_s * (1.0 + 1e-9));
+  EXPECT_NEAR(sim.pipelined_s, predicted.total_s,
+              1e-6 * std::max(1.0, predicted.total_s));
 }
 
 }  // namespace

@@ -1,0 +1,481 @@
+// Tests for the host-side observability layer: util::JsonWriter, the scoped
+// wall-clock profiler, the metrics registry, the JSONL telemetry sink, and
+// the leveled logger's prefix/sink/env plumbing.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "la/gemm.hpp"
+#include "la/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/pipeline.hpp"
+#include "parallel/thread_pool.hpp"
+#include "phi/trace.hpp"
+#include "util/error.hpp"
+#include "util/json_writer.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace deepphi {
+namespace {
+
+// ---------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(util::json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(util::json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonWriter, BuildsNestedDocument) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.member("name", "chunk \"0\" h2d");
+  w.member("count", std::int64_t{42});
+  w.member("ok", true);
+  w.key("rows");
+  w.begin_array();
+  w.value(1);
+  w.value(2.5);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  const std::string text = os.str();
+  EXPECT_TRUE(util::json_is_valid(text)) << text;
+  EXPECT_NE(text.find("\"chunk \\\"0\\\" h2d\""), std::string::npos);
+  EXPECT_NE(text.find("[1,2.5,null]"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.0);
+  w.end_array();
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(os.str(), "[null,null,1]");
+  EXPECT_TRUE(util::json_is_valid(os.str()));
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), util::Error);  // value without key in object
+  }
+  {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), util::Error);  // mismatched close
+  }
+}
+
+TEST(JsonValidator, AcceptsAndRejects) {
+  EXPECT_TRUE(util::json_is_valid("{}"));
+  EXPECT_TRUE(util::json_is_valid("[1, 2.5e-3, \"x\\n\", null, true]"));
+  EXPECT_TRUE(util::json_is_valid("{\"a\":{\"b\":[{}]}}"));
+  EXPECT_FALSE(util::json_is_valid(""));
+  EXPECT_FALSE(util::json_is_valid("{"));
+  EXPECT_FALSE(util::json_is_valid("[1,]"));
+  EXPECT_FALSE(util::json_is_valid("{\"a\" 1}"));
+  EXPECT_FALSE(util::json_is_valid("\"unterminated"));
+  EXPECT_FALSE(util::json_is_valid("\"bad \x01 control\""));
+  EXPECT_FALSE(util::json_is_valid("{} extra"));
+}
+
+TEST(JsonValidator, TraceChromeJsonWithHostileNamesIsValid) {
+  phi::Trace trace;
+  trace.add(phi::TraceEvent{"gemm \"quoted\" \\ back\nslash",
+                            phi::TraceEvent::Resource::kCompute, 0.0, 1.0});
+  const std::string json = trace.to_chrome_json();
+  EXPECT_TRUE(util::json_is_valid(json)) << json;
+}
+
+// ------------------------------------------------------------------ Profiler
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Profiler::enable(false);
+    obs::Profiler::clear();
+  }
+  void TearDown() override {
+    obs::Profiler::enable(false);
+    obs::Profiler::clear();
+  }
+};
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  { DEEPPHI_PROFILE_SCOPE("off"); }
+  EXPECT_TRUE(obs::Profiler::snapshot().empty());
+}
+
+TEST_F(ProfilerTest, RecordsSpansWithNesting) {
+  obs::Profiler::enable(true);
+  obs::set_thread_name("main");
+  {
+    DEEPPHI_PROFILE_SCOPE("outer");
+    DEEPPHI_PROFILE_SCOPE("inner");
+  }
+  obs::Profiler::enable(false);
+  const std::vector<obs::Span> spans = obs::Profiler::snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const obs::Span* outer = nullptr;
+  const obs::Span* inner = nullptr;
+  for (const obs::Span& s : spans) {
+    if (std::string(s.label) == "outer") outer = &s;
+    if (std::string(s.label) == "inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_LE(outer->start_s, inner->start_s);
+  EXPECT_GE(outer->end_s, inner->end_s);
+  EXPECT_GE(inner->duration_s(), 0.0);
+}
+
+TEST_F(ProfilerTest, AggregateComputesStats) {
+  obs::Profiler::enable(true);
+  for (int i = 0; i < 10; ++i) {
+    DEEPPHI_PROFILE_SCOPE("loop");
+  }
+  obs::Profiler::enable(false);
+  const std::vector<obs::SpanStats> agg = obs::Profiler::aggregate();
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].label, "loop");
+  EXPECT_EQ(agg[0].count, 10);
+  EXPECT_GE(agg[0].min_s, 0.0);
+  EXPECT_LE(agg[0].min_s, agg[0].p50_s);
+  EXPECT_LE(agg[0].p50_s, agg[0].p95_s);
+  EXPECT_LE(agg[0].p95_s, agg[0].max_s);
+  EXPECT_GE(agg[0].total_s, agg[0].max_s);
+  EXPECT_FALSE(obs::Profiler::report().empty());
+}
+
+TEST_F(ProfilerTest, ChromeJsonIsValidAndMergesSimulatedTrace) {
+  obs::Profiler::enable(true);
+  obs::set_thread_name("main");
+  { DEEPPHI_PROFILE_SCOPE("work"); }
+  obs::Profiler::enable(false);
+
+  phi::Trace simulated;
+  simulated.add(
+      phi::TraceEvent{"k", phi::TraceEvent::Resource::kCompute, 0.0, 1.0});
+  simulated.add(
+      phi::TraceEvent{"h2d", phi::TraceEvent::Resource::kDma, 0.0, 0.5});
+  const std::string json = obs::Profiler::to_chrome_json(&simulated);
+  EXPECT_TRUE(util::json_is_valid(json)) << json;
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("host (measured)"), std::string::npos);
+  EXPECT_NE(json.find("phi (simulated)"), std::string::npos);
+  EXPECT_NE(json.find("\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"main\""), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ClearDropsSpans) {
+  obs::Profiler::enable(true);
+  { DEEPPHI_PROFILE_SCOPE("gone"); }
+  obs::Profiler::clear();
+  { DEEPPHI_PROFILE_SCOPE("kept"); }
+  obs::Profiler::enable(false);
+  const std::vector<obs::Span> spans = obs::Profiler::snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].label, "kept");
+}
+
+// The disabled-profiler macro must be cheap enough to leave in hot loops:
+// one relaxed atomic load per scope. We run a GEMM-heavy loop with the macro
+// in the inner scope versus an identical loop without it and require the
+// overhead to be small. The ceiling here (25%) is far looser than the design
+// target (<2%) purely to keep the test robust on noisy CI machines; timing
+// medians of repeats damps scheduler jitter.
+TEST_F(ProfilerTest, DisabledOverheadIsSmallOnGemmHeavyLoop) {
+  constexpr int kDim = 48;
+  constexpr int kIters = 40;
+  la::Matrix a(kDim, kDim), b(kDim, kDim), c(kDim, kDim);
+  a.fill(1.0f);
+  b.fill(0.5f);
+
+  auto run_plain = [&] {
+    for (int i = 0; i < kIters; ++i) la::gemm_nn(1.0f, a, b, 0.0f, c);
+  };
+  auto run_instrumented = [&] {
+    for (int i = 0; i < kIters; ++i) {
+      DEEPPHI_PROFILE_SCOPE("overhead_probe");
+      la::gemm_nn(1.0f, a, b, 0.0f, c);
+    }
+  };
+
+  auto median_seconds = [](auto&& fn) {
+    std::vector<double> times;
+    for (int rep = 0; rep < 7; ++rep) {
+      util::Timer t;
+      fn();
+      times.push_back(t.seconds());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
+
+  run_plain();  // warm caches
+  const double plain_s = median_seconds(run_plain);
+  const double instrumented_s = median_seconds(run_instrumented);
+  EXPECT_TRUE(obs::Profiler::snapshot().empty());  // profiler stayed off
+  EXPECT_LT(instrumented_s, plain_s * 1.25)
+      << "disabled-profiler overhead too high: " << plain_s << "s plain vs "
+      << instrumented_s << "s instrumented";
+}
+
+// Concurrent recording from pool workers + the Fig. 5 loading thread while
+// the main thread snapshots mid-flight. Run under DEEPPHI_SANITIZE (see
+// scripts/check.sh) this is the data-race check for the span buffers.
+TEST_F(ProfilerTest, ThreadSafeUnderParallelForAndPipeline) {
+  obs::Profiler::enable(true);
+  obs::set_thread_name("main");
+
+  std::atomic<int> produced{0};
+  par::ChunkPipeline<int> pipeline(2, [&]() -> std::optional<int> {
+    const int i = produced.fetch_add(1);
+    if (i >= 32) return std::nullopt;
+    DEEPPHI_PROFILE_SCOPE("test.produce");
+    return i;
+  });
+
+  par::ThreadPool pool(4);
+  std::atomic<std::int64_t> sum{0};
+  int consumed = 0;
+  while (auto item = pipeline.pop()) {
+    ++consumed;
+    par::parallel_for(pool, 0, 64, [&](std::int64_t i) {
+      DEEPPHI_PROFILE_SCOPE("test.work");
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    // Snapshot while workers and the loading thread are still active.
+    for (const obs::Span& s : obs::Profiler::snapshot()) {
+      EXPECT_GE(s.end_s, s.start_s);
+      EXPECT_NE(s.label, nullptr);
+    }
+  }
+  pool.wait_idle();
+  obs::Profiler::enable(false);
+
+  EXPECT_EQ(consumed, 32);
+  const std::vector<obs::Span> spans = obs::Profiler::snapshot();
+  std::int64_t work_spans = 0;
+  for (const obs::Span& s : spans) {
+    if (std::string(s.label) == "test.work") ++work_spans;
+  }
+  EXPECT_GT(work_spans, 0);
+  EXPECT_GE(obs::Profiler::thread_count(), 2u);  // main + loading at least
+}
+
+// ------------------------------------------------------------------- Metrics
+
+TEST(Metrics, CounterAndGaugeRoundTrip) {
+  obs::Counter& c = obs::counter("test.counter_roundtrip");
+  c.reset();
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5);
+  EXPECT_EQ(&c, &obs::counter("test.counter_roundtrip"));  // stable handle
+
+  obs::Gauge& g = obs::gauge("test.gauge_roundtrip");
+  g.reset();
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set_max(1.0);  // lower: keeps the max
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, KindConflictThrows) {
+  obs::counter("test.kind_conflict");
+  EXPECT_THROW(obs::gauge("test.kind_conflict"), util::Error);
+}
+
+TEST(Metrics, SnapshotIsSortedAndComplete) {
+  obs::counter("test.snap_a").reset();
+  obs::counter("test.snap_a").add(3);
+  obs::gauge("test.snap_b").set(1.5);
+  const std::vector<obs::MetricSample> snap = obs::metrics::snapshot();
+  ASSERT_GE(snap.size(), 2u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name);
+  }
+  bool saw_a = false, saw_b = false;
+  for (const obs::MetricSample& s : snap) {
+    if (s.name == "test.snap_a") {
+      saw_a = true;
+      EXPECT_EQ(s.kind, obs::MetricSample::Kind::kCounter);
+      EXPECT_DOUBLE_EQ(s.value, 3.0);
+    }
+    if (s.name == "test.snap_b") {
+      saw_b = true;
+      EXPECT_EQ(s.kind, obs::MetricSample::Kind::kGauge);
+      EXPECT_DOUBLE_EQ(s.value, 1.5);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(Metrics, DisabledUpdatesAreNoOps) {
+  obs::Counter& c = obs::counter("test.disabled_noop");
+  c.reset();
+  obs::metrics::set_enabled(false);
+  c.add(10);
+  obs::gauge("test.disabled_gauge").set(9.0);
+  obs::metrics::set_enabled(true);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.disabled_gauge").value(), 0.0);
+}
+
+// ----------------------------------------------------------------- Telemetry
+
+std::vector<std::string> jsonl_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(Telemetry, GoldenSchemaForEmittedRecords) {
+  std::ostringstream os;
+  obs::TelemetrySink sink(os);
+  sink.emit_run_header("unit_test", {obs::TelemetryField::integer("dim", 64),
+                                     obs::TelemetryField::str("model", "sae"),
+                                     obs::TelemetryField::boolean("tied", true)});
+  sink.emit("chunk", {obs::TelemetryField::integer("chunk", 0),
+                      obs::TelemetryField::num("mean_cost", 1.25)});
+  obs::counter("test.telemetry_metric").reset();
+  obs::counter("test.telemetry_metric").add(2);
+  sink.emit_metrics("run_summary", {obs::TelemetryField::integer("chunks", 1)});
+  sink.flush();
+  EXPECT_EQ(sink.records_written(), 3);
+
+  const std::vector<std::string> lines = jsonl_lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_TRUE(util::json_is_valid(lines[i])) << lines[i];
+    EXPECT_NE(lines[i].find("\"record\""), std::string::npos) << lines[i];
+    // seq is contiguous from 0 in emission order.
+    const std::string want_seq = "\"seq\":" + std::to_string(i);
+    EXPECT_NE(lines[i].find(want_seq), std::string::npos) << lines[i];
+  }
+  // Header carries the schema tag and program name on the first line.
+  EXPECT_NE(lines[0].find("\"record\":\"run_header\""), std::string::npos);
+  EXPECT_NE(lines[0].find(obs::kTelemetrySchema), std::string::npos);
+  EXPECT_NE(lines[0].find("\"program\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"tied\":true"), std::string::npos);
+  // Chunk record keeps numeric types.
+  EXPECT_NE(lines[1].find("\"chunk\":0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"mean_cost\":1.25"), std::string::npos);
+  // Metrics records nest the registry snapshot.
+  EXPECT_NE(lines[2].find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"test.telemetry_metric\":2"), std::string::npos);
+}
+
+TEST(Telemetry, EscapesHostileStrings) {
+  std::ostringstream os;
+  obs::TelemetrySink sink(os);
+  sink.emit("note", {obs::TelemetryField::str("path", "a\"b\\c\nd")});
+  const std::vector<std::string> lines = jsonl_lines(os.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(util::json_is_valid(lines[0])) << lines[0];
+}
+
+// ------------------------------------------------------------------- Logging
+
+class LogCapture {
+ public:
+  LogCapture() {
+    util::set_log_sink([this](util::LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  ~LogCapture() { util::set_log_sink(nullptr); }
+  const std::vector<std::string>& lines() const { return lines_; }
+  const std::vector<util::LogLevel>& levels() const { return levels_; }
+
+ private:
+  std::vector<util::LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+TEST(Logging, PrefixHasTimestampLevelAndThreadId) {
+  LogCapture capture;
+  const util::LogLevel prev = util::log_level();
+  util::set_log_level(util::LogLevel::kInfo);
+  DEEPPHI_INFO() << "hello observability";
+  util::set_log_level(prev);
+
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  // ISO-8601 UTC: "YYYY-MM-DDTHH:MM:SS.mmmZ".
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find("[INFO"), std::string::npos);
+  char tid[8];
+  std::snprintf(tid, sizeof tid, "[t%02d]", util::log_thread_id());
+  EXPECT_NE(line.find(tid), std::string::npos);
+  EXPECT_NE(line.find("hello observability"), std::string::npos);
+}
+
+TEST(Logging, LevelFiltersMessages) {
+  LogCapture capture;
+  const util::LogLevel prev = util::log_level();
+  util::set_log_level(util::LogLevel::kWarn);
+  DEEPPHI_DEBUG() << "dropped";
+  DEEPPHI_INFO() << "dropped too";
+  DEEPPHI_WARN() << "kept";
+  util::set_log_level(prev);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_NE(capture.lines()[0].find("kept"), std::string::npos);
+  EXPECT_EQ(capture.levels()[0], util::LogLevel::kWarn);
+}
+
+TEST(Logging, ParsesLevelNames) {
+  util::LogLevel level = util::LogLevel::kOff;
+  EXPECT_TRUE(util::parse_log_level("debug", level));
+  EXPECT_EQ(level, util::LogLevel::kDebug);
+  EXPECT_TRUE(util::parse_log_level("WARN", level));
+  EXPECT_EQ(level, util::LogLevel::kWarn);
+  EXPECT_TRUE(util::parse_log_level("off", level));
+  EXPECT_EQ(level, util::LogLevel::kOff);
+  EXPECT_FALSE(util::parse_log_level("verbose", level));
+  EXPECT_EQ(level, util::LogLevel::kOff);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace deepphi

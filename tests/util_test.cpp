@@ -157,6 +157,23 @@ TEST(Options, BooleanFlag) {
   EXPECT_TRUE(o.get_bool("verbose"));
 }
 
+TEST(Options, SpaceSeparatedValue) {
+  const char* argv[] = {"prog", "--profile", "out.json", "--verbose",
+                        "--telemetry", "run.jsonl"};
+  Options o = Options::parse(6, argv);
+  EXPECT_EQ(o.get_string("profile"), "out.json");
+  EXPECT_EQ(o.get_string("telemetry"), "run.jsonl");
+  EXPECT_TRUE(o.get_bool("verbose"));  // followed by a --flag: boolean
+  EXPECT_TRUE(o.positional().empty());
+}
+
+TEST(Options, BareFlagBeforeFlagStaysBoolean) {
+  const char* argv[] = {"prog", "--taskgraph", "--epochs=2"};
+  Options o = Options::parse(3, argv);
+  EXPECT_TRUE(o.get_bool("taskgraph"));
+  EXPECT_EQ(o.get_int("epochs"), 2);
+}
+
 TEST(Options, DefaultsFromDeclare) {
   const char* argv[] = {"prog"};
   Options o = Options::parse(1, argv);

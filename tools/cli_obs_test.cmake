@@ -1,0 +1,30 @@
+# CTest script: train with the observability flags in their space-separated
+# form (--profile out.json --telemetry run.jsonl), then validate that the
+# profiler emitted a Perfetto-loadable Chrome trace with both host tracks and
+# that the telemetry JSONL carries the schema'd records.
+execute_process(
+  COMMAND ${TRAIN} --model=sae --synthetic=digits --examples=512 --epochs=2
+          --hidden=16 --chunk=128
+          --profile ${WORK}/obs_trace.json
+          --telemetry ${WORK}/obs_run.jsonl
+  RESULT_VARIABLE train_rc)
+if(NOT train_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_train --profile/--telemetry failed: ${train_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CHECK} --require=traceEvents "--expect=host (measured)"
+          --expect=loading ${WORK}/obs_trace.json
+  RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+  message(FATAL_ERROR "profile trace failed validation: ${trace_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CHECK} --jsonl --require=record --require=seq
+          --expect=deepphi.telemetry.v1 --expect=run_header
+          --expect=run_summary ${WORK}/obs_run.jsonl
+  RESULT_VARIABLE telemetry_rc)
+if(NOT telemetry_rc EQUAL 0)
+  message(FATAL_ERROR "telemetry JSONL failed validation: ${telemetry_rc}")
+endif()

@@ -12,6 +12,7 @@
 
 #include "core/metrics.hpp"
 #include "core/model_io.hpp"
+#include "obs/profiler.hpp"
 #include "data/binary_io.hpp"
 #include "data/idx_io.hpp"
 #include "data/patches.hpp"
@@ -77,6 +78,9 @@ int run(int argc, char** argv) {
   options.declare("filters", "render this many first-layer filters as ASCII",
                   "0");
   options.declare("export-codes", "write the encoded dataset to this path");
+  options.declare("profile",
+                  "write a Chrome-trace JSON of the evaluation's host "
+                  "timeline to this path");
   options.declare("help", "print usage");
   if (options.has("help")) {
     std::printf("%s", options.help("deepphi_eval").c_str());
@@ -84,6 +88,10 @@ int run(int argc, char** argv) {
   }
   options.validate();
   DEEPPHI_CHECK_MSG(options.has("model"), "--model=<checkpoint> is required");
+  if (options.has("profile")) {
+    obs::set_thread_name("main");
+    obs::Profiler::enable(true);
+  }
 
   const std::string path = options.get_string("model");
   const std::string magic = read_magic(path);
@@ -158,6 +166,12 @@ int run(int argc, char** argv) {
   } else {
     throw util::Error("'" + path + "' has unknown checkpoint magic '" + magic +
                       "'");
+  }
+
+  if (options.has("profile")) {
+    const std::string out = options.get_string("profile");
+    obs::Profiler::write_chrome_json(out);
+    std::printf("profile written to %s\n", out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,131 @@
+// Validates JSON / JSONL files emitted by the observability layer: bench
+// --json tables, profiler Chrome traces, and telemetry JSONL runs. Used by
+// ctest and scripts/profile_run.sh so "the file is machine-readable" is an
+// enforced property, not a hope.
+//
+// usage: deepphi_json_check [--jsonl] [--require=KEY]... [--expect=SUBSTR]... FILE
+//   --jsonl          validate each non-empty line as a standalone JSON value
+//                    (default: the whole file is one JSON value)
+//   --require=KEY    the document (every line, with --jsonl) must contain the
+//                    member name "KEY"
+//   --expect=SUBSTR  the raw file must contain SUBSTR (e.g. a schema tag)
+//
+// Exits 0 when all checks pass, 1 otherwise. Flags are parsed by hand: the
+// positional FILE argument must not be swallowed as a flag value.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+bool contains_key(const std::string& text, const std::string& key) {
+  return text.find("\"" + key + "\"") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using deepphi::util::json_is_valid;
+
+  bool jsonl = false;
+  std::vector<std::string> required_keys;
+  std::vector<std::string> expected_substrings;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jsonl") {
+      jsonl = true;
+    } else if (deepphi::util::starts_with(arg, "--require=")) {
+      required_keys.push_back(arg.substr(10));
+    } else if (deepphi::util::starts_with(arg, "--expect=")) {
+      expected_substrings.push_back(arg.substr(9));
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: deepphi_json_check [--jsonl] [--require=KEY]... "
+          "[--expect=SUBSTR]... FILE\n");
+      return 0;
+    } else if (deepphi::util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "deepphi_json_check: unknown flag %s\n", arg.c_str());
+      return 1;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "deepphi_json_check: more than one FILE argument\n");
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "deepphi_json_check: missing FILE argument\n");
+    return 1;
+  }
+
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "deepphi_json_check: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  int failures = 0;
+  if (jsonl) {
+    std::istringstream lines(text);
+    std::string line;
+    int lineno = 0;
+    int records = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      ++records;
+      if (!json_is_valid(line)) {
+        std::fprintf(stderr, "%s:%d: invalid JSON record\n", path.c_str(), lineno);
+        ++failures;
+        continue;
+      }
+      for (const std::string& key : required_keys) {
+        if (!contains_key(line, key)) {
+          std::fprintf(stderr, "%s:%d: missing required key \"%s\"\n",
+                       path.c_str(), lineno, key.c_str());
+          ++failures;
+        }
+      }
+    }
+    if (records == 0) {
+      std::fprintf(stderr, "%s: no JSONL records\n", path.c_str());
+      ++failures;
+    }
+  } else {
+    if (!json_is_valid(text)) {
+      std::fprintf(stderr, "%s: invalid JSON\n", path.c_str());
+      ++failures;
+    }
+    for (const std::string& key : required_keys) {
+      if (!contains_key(text, key)) {
+        std::fprintf(stderr, "%s: missing required key \"%s\"\n", path.c_str(),
+                     key.c_str());
+        ++failures;
+      }
+    }
+  }
+  for (const std::string& substr : expected_substrings) {
+    if (text.find(substr) == std::string::npos) {
+      std::fprintf(stderr, "%s: missing expected content '%s'\n", path.c_str(),
+                   substr.c_str());
+      ++failures;
+    }
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "deepphi_json_check: %d check(s) failed for %s\n",
+                 failures, path.c_str());
+    return 1;
+  }
+  std::printf("deepphi_json_check: %s ok\n", path.c_str());
+  return 0;
+}

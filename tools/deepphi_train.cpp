@@ -16,6 +16,8 @@
 //   deepphi_train --model=dbn --synthetic=natural --layers=64,32 --cd-k=2
 //                 --taskgraph
 #include <cstdio>
+#include <memory>
+#include <thread>
 
 #include "core/dbn.hpp"
 #include "core/metrics.hpp"
@@ -25,6 +27,8 @@
 #include "data/binary_io.hpp"
 #include "data/idx_io.hpp"
 #include "data/patches.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
 #include "util/string_util.hpp"
@@ -111,12 +115,23 @@ int run(int argc, char** argv) {
   options.declare("lambda", "weight decay (sae/stack)", "1e-4");
   options.declare("seed", "random seed", "42");
   options.declare("save", "checkpoint path to write the trained model");
+  options.declare("profile",
+                  "write a Chrome-trace JSON of the real host timeline "
+                  "(load it in ui.perfetto.dev) to this path");
+  options.declare("telemetry",
+                  "write JSONL run telemetry (one record per chunk/epoch) "
+                  "to this path");
   options.declare("help", "print usage");
   if (options.has("help")) {
     std::printf("%s", options.help("deepphi_train").c_str());
     return 0;
   }
   options.validate();
+
+  if (options.has("profile")) {
+    obs::set_thread_name("main");
+    obs::Profiler::enable(true);
+  }
 
   data::Dataset dataset = load_data(options);
   std::printf("dataset: %lld examples of dim %lld\n",
@@ -137,6 +152,32 @@ int run(int argc, char** argv) {
 
   const std::string model_kind = options.get_string("model");
   const std::uint64_t seed = tcfg.seed;
+
+  std::unique_ptr<obs::TelemetrySink> telemetry;
+  if (options.has("telemetry")) {
+    telemetry =
+        std::make_unique<obs::TelemetrySink>(options.get_string("telemetry"));
+    using obs::TelemetryField;
+    telemetry->emit_run_header(
+        "deepphi_train",
+        {TelemetryField::str("model", model_kind),
+         TelemetryField::integer("host_threads",
+                                 std::thread::hardware_concurrency()),
+         TelemetryField::integer("examples",
+                                 static_cast<std::int64_t>(dataset.size())),
+         TelemetryField::integer("dim",
+                                 static_cast<std::int64_t>(dataset.dim())),
+         TelemetryField::integer("batch_size", tcfg.batch_size),
+         TelemetryField::integer("chunk_examples", tcfg.chunk_examples),
+         TelemetryField::integer("epochs", tcfg.epochs),
+         TelemetryField::str("level", options.get_string("level")),
+         TelemetryField::str("optimizer", options.get_string("optimizer")),
+         TelemetryField::num("lr", options.get_double("lr")),
+         TelemetryField::boolean("taskgraph", tcfg.use_taskgraph),
+         TelemetryField::integer("seed", static_cast<std::int64_t>(seed))});
+    tcfg.telemetry = telemetry.get();
+  }
+
   core::Trainer trainer(tcfg);
 
   if (model_kind == "sae") {
@@ -209,6 +250,21 @@ int run(int argc, char** argv) {
   } else {
     throw util::Error("unknown --model '" + model_kind +
                       "' (sae|rbm|stack|dbn)");
+  }
+
+  if (options.has("profile")) {
+    const std::string path = options.get_string("profile");
+    obs::Profiler::write_chrome_json(path);
+    std::printf("profile: %u host threads traced, written to %s\n",
+                obs::Profiler::thread_count(), path.c_str());
+    const std::string report = obs::Profiler::report();
+    if (!report.empty()) std::printf("%s", report.c_str());
+  }
+  if (telemetry) {
+    telemetry->flush();
+    std::printf("telemetry: %lld records written to %s\n",
+                static_cast<long long>(telemetry->records_written()),
+                options.get_string("telemetry").c_str());
   }
   return 0;
 }
