@@ -26,10 +26,10 @@ namespace {
 
 using namespace deepphi;
 
-// Encodes a whole dataset through the stack, batched.
-data::Dataset encode_all(const core::StackedAutoencoder& stack,
+// Encodes a whole dataset through any Encoder, batched.
+data::Dataset encode_all(const core::Encoder& model,
                          const data::Dataset& images) {
-  data::Dataset codes(images.size(), stack.layer_sizes().back());
+  data::Dataset codes(images.size(), model.output_dim());
   la::Matrix in, out;
   const la::Index step = 512;
   for (la::Index begin = 0; begin < images.size(); begin += step) {
@@ -37,7 +37,7 @@ data::Dataset encode_all(const core::StackedAutoencoder& stack,
     if (in.rows() != count || in.cols() != images.dim())
       in = la::Matrix::uninitialized(count, images.dim());
     images.copy_batch(begin, count, in);
-    stack.encode(in, out);
+    model.encode(in, out);
     for (la::Index r = 0; r < count; ++r)
       std::copy(out.row(r), out.row(r) + out.cols(), codes.example(begin + r));
   }

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
               fe_data < fe_noise ? "  (data preferred ✓)" : "");
 
   la::Matrix top;
-  dbn.up_pass(data_batch, top);
+  dbn.encode(data_batch, top);
   double mean_top = 0;
   for (la::Index i = 0; i < top.size(); ++i) mean_top += top.data()[i];
   std::printf("top-layer code: %lld units, mean activity %.3f\n",

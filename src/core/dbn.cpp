@@ -55,7 +55,16 @@ std::vector<TrainReport> Dbn::pretrain(const data::Dataset& dataset,
   return reports;
 }
 
-void Dbn::up_pass(const la::Matrix& x, la::Matrix& out) const {
+std::string Dbn::describe() const {
+  std::ostringstream os;
+  os << "DBN";
+  for (std::size_t k = 0; k < sizes_.size(); ++k)
+    os << (k == 0 ? " " : " -> ") << sizes_[k];
+  os << " (" << layers_.size() << " RBMs)";
+  return os.str();
+}
+
+void Dbn::encode(const la::Matrix& x, la::Matrix& out) const {
   DEEPPHI_CHECK_MSG(x.cols() == sizes_.front(),
                     "input dim " << x.cols() << " != " << sizes_.front());
   la::Matrix current = x;

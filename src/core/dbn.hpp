@@ -7,13 +7,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/encoder.hpp"
 #include "core/rbm.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
 
 namespace deepphi::core {
 
-class Dbn {
+class Dbn : public Encoder {
  public:
   /// `layer_sizes` = {visible, h1, h2, ...}; proto carries cd_k /
   /// sample_visible / init_sigma for every layer. A Gaussian visible_type in
@@ -31,8 +32,17 @@ class Dbn {
   std::vector<TrainReport> pretrain(const data::Dataset& dataset,
                                     const TrainerConfig& config);
 
-  /// Mean-field up-pass through every layer.
-  void up_pass(const la::Matrix& x, la::Matrix& out) const;
+  /// Mean-field up-pass through every layer (the Encoder inference pass).
+  void encode(const la::Matrix& x, la::Matrix& out) const override;
+
+  /// Deprecated alias for encode(): the historical DBN-specific name, kept
+  /// for existing call sites. New code should use the Encoder interface.
+  void up_pass(const la::Matrix& x, la::Matrix& out) const { encode(x, out); }
+
+  // Encoder interface.
+  la::Index input_dim() const override { return sizes_.front(); }
+  la::Index output_dim() const override { return sizes_.back(); }
+  std::string describe() const override;
 
  private:
   std::vector<la::Index> sizes_;

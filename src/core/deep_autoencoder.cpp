@@ -55,6 +55,13 @@ void DeepAutoencoder::reconstruct(const la::Matrix& x, la::Matrix& out) const {
   out = ws.acts.back();
 }
 
+std::string DeepAutoencoder::describe() const {
+  std::ostringstream os;
+  os << "Deep Autoencoder " << input_dim() << " -> " << code_dim()
+     << " (unrolled, " << layers_.size() << " layers)";
+  return os.str();
+}
+
 void DeepAutoencoder::encode(const la::Matrix& x, la::Matrix& out) const {
   DEEPPHI_CHECK_MSG(x.cols() == input_dim(),
                     "input dim " << x.cols() << " != " << input_dim());

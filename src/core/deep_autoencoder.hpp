@@ -19,13 +19,14 @@
 #include <vector>
 
 #include "core/dbn.hpp"
+#include "core/encoder.hpp"
 #include "core/optimizer.hpp"
 #include "core/stacked_autoencoder.hpp"
 #include "data/dataset.hpp"
 
 namespace deepphi::core {
 
-class DeepAutoencoder {
+class DeepAutoencoder : public Encoder {
  public:
   /// Unrolls a pre-trained stacked autoencoder (encoder halves forward,
   /// decoder halves mirrored).
@@ -37,8 +38,12 @@ class DeepAutoencoder {
 
   /// Total layers in the unrolled network (2 × stack depth).
   std::size_t layers() const { return layers_.size(); }
-  la::Index input_dim() const { return layers_.front().w.cols(); }
+  la::Index input_dim() const override { return layers_.front().w.cols(); }
   la::Index code_dim() const { return layers_[layers_.size() / 2 - 1].w.rows(); }
+
+  // Encoder interface: inference produces the bottleneck code.
+  la::Index output_dim() const override { return code_dim(); }
+  std::string describe() const override;
 
   struct Layer {
     la::Matrix w;  // out×in
@@ -65,7 +70,7 @@ class DeepAutoencoder {
   void reconstruct(const la::Matrix& x, la::Matrix& out) const;
 
   /// The bottleneck code of x.
-  void encode(const la::Matrix& x, la::Matrix& out) const;
+  void encode(const la::Matrix& x, la::Matrix& out) const override;
 
   /// Full backprop on J = ‖x̂ − x‖²/(2m) + λ/2 Σ‖W‖²; returns J.
   double gradient(const la::Matrix& x, Workspace& ws, Gradients& grads,

@@ -1,0 +1,13 @@
+#include "core/encoder.hpp"
+
+#include <sstream>
+
+namespace deepphi::core {
+
+std::string Encoder::describe() const {
+  std::ostringstream os;
+  os << "Encoder " << input_dim() << " -> " << output_dim();
+  return os.str();
+}
+
+}  // namespace deepphi::core

@@ -222,3 +222,31 @@ Dbn load_dbn(const std::string& path) {
 }
 
 }  // namespace deepphi::core
+
+namespace deepphi::model_io {
+
+std::string sniff_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  char magic[4];
+  in.read(magic, 4);
+  DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' too short for a checkpoint");
+  return std::string(magic, 4);
+}
+
+std::unique_ptr<core::Encoder> load_any(const std::string& path) {
+  const std::string magic = sniff_magic(path);
+  if (magic == "DPAE")
+    return std::make_unique<core::SparseAutoencoder>(core::load_sae(path));
+  if (magic == "DPRB")
+    return std::make_unique<core::Rbm>(core::load_rbm(path));
+  if (magic == "DPSA")
+    return std::make_unique<core::StackedAutoencoder>(
+        core::load_stacked_sae(path));
+  if (magic == "DPDB")
+    return std::make_unique<core::Dbn>(core::load_dbn(path));
+  throw util::Error("'" + path + "' has unknown checkpoint magic '" + magic +
+                    "'");
+}
+
+}  // namespace deepphi::model_io

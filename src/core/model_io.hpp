@@ -7,9 +7,11 @@
 //   "DPSA"/1 — StackedAutoencoder     "DPDB"/1 — Dbn
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/dbn.hpp"
+#include "core/encoder.hpp"
 #include "core/rbm.hpp"
 #include "core/sparse_autoencoder.hpp"
 #include "core/stacked_autoencoder.hpp"
@@ -29,3 +31,20 @@ void save_model(const Dbn& model, const std::string& path);
 Dbn load_dbn(const std::string& path);
 
 }  // namespace deepphi::core
+
+namespace deepphi::model_io {
+
+/// The 4-byte magic of the checkpoint at `path` ("DPAE" / "DPRB" / "DPSA" /
+/// "DPDB"); throws util::Error when the file cannot be opened or is too
+/// short to carry a header. Does not validate the version or payload.
+std::string sniff_magic(const std::string& path);
+
+/// Loads ANY checkpoint as its inference interface: sniffs the magic and
+/// dispatches to the matching typed loader, so callers (serving, eval) need
+/// no per-type flags or switches. Throws util::Error for unknown magics,
+/// unsupported versions, and truncated payloads. The typed core::load_*
+/// functions remain as thin wrappers for callers that need the concrete
+/// training type.
+std::unique_ptr<core::Encoder> load_any(const std::string& path);
+
+}  // namespace deepphi::model_io

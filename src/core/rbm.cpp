@@ -39,6 +39,16 @@ void Rbm::Workspace::ensure(la::Index batch, la::Index visible,
   if (tmp_h.size() != hidden) tmp_h = la::Vector(hidden);
 }
 
+std::string Rbm::describe() const {
+  std::ostringstream os;
+  os << "RBM " << config_.visible << " -> " << config_.hidden
+     << " (cd_k=" << config_.cd_k << ", "
+     << (config_.visible_type == VisibleType::kGaussian ? "Gaussian"
+                                                        : "Bernoulli")
+     << " visibles)";
+  return os.str();
+}
+
 void Rbm::hidden_mean(const la::Matrix& v, la::Matrix& h) const {
   DEEPPHI_CHECK_MSG(v.cols() == config_.visible,
                     "input dim " << v.cols() << " != visible " << config_.visible);

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "core/encoder.hpp"
 #include "core/gradient_buffers.hpp"
 #include "la/matrix.hpp"
 #include "util/rng.hpp"
@@ -38,13 +39,22 @@ struct RbmConfig {
   float init_sigma = 0.01f;     // N(0, σ) weight init
 };
 
-class Rbm {
+class Rbm : public Encoder {
  public:
   Rbm(RbmConfig config, std::uint64_t seed);
 
   const RbmConfig& config() const { return config_; }
   la::Index visible() const { return config_.visible; }
   la::Index hidden() const { return config_.hidden; }
+
+  // Encoder interface: inference is the deterministic mean-field up-pass
+  // p(h|v) — no Gibbs noise, so serving stays reproducible.
+  la::Index input_dim() const override { return config_.visible; }
+  la::Index output_dim() const override { return config_.hidden; }
+  void encode(const la::Matrix& x, la::Matrix& out) const override {
+    hidden_mean(x, out);
+  }
+  std::string describe() const override;
 
   la::Matrix& w() { return w_; }   // hidden×visible
   la::Vector& b() { return b_; }   // visible bias

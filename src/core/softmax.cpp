@@ -49,6 +49,13 @@ SoftmaxClassifier::SoftmaxClassifier(SoftmaxConfig config, std::uint64_t seed)
   init_weights_uniform(w_, config.dim, config.classes, rng);
 }
 
+std::string SoftmaxClassifier::describe() const {
+  std::ostringstream os;
+  os << "Softmax classifier " << config_.dim << " -> " << config_.classes
+     << " classes";
+  return os.str();
+}
+
 void SoftmaxClassifier::probabilities(const la::Matrix& x,
                                       la::Matrix& probs) const {
   DEEPPHI_CHECK_MSG(x.cols() == config_.dim,

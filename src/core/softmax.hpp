@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/encoder.hpp"
 #include "data/dataset.hpp"
 #include "la/matrix.hpp"
 
@@ -23,11 +24,20 @@ struct SoftmaxConfig {
   float lambda = 1e-4f;   // weight decay
 };
 
-class SoftmaxClassifier {
+class SoftmaxClassifier : public Encoder {
  public:
   SoftmaxClassifier(SoftmaxConfig config, std::uint64_t seed);
 
   const SoftmaxConfig& config() const { return config_; }
+
+  // Encoder interface: inference emits the per-class probability row —
+  // serving a classifier means serving its softmax outputs.
+  la::Index input_dim() const override { return config_.dim; }
+  la::Index output_dim() const override { return config_.classes; }
+  void encode(const la::Matrix& x, la::Matrix& out) const override {
+    probabilities(x, out);
+  }
+  std::string describe() const override;
   la::Matrix& w() { return w_; }  // classes×dim
   la::Vector& b() { return b_; }
   const la::Matrix& w() const { return w_; }

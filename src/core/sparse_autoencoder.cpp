@@ -78,6 +78,14 @@ void SparseAutoencoder::encode(const la::Matrix& x, la::Matrix& y) const {
   la::gemm_nt(1.0f, x, w1_, 0.0f, y, la::GemmEpilogue::bias_sigmoid(b1_));
 }
 
+std::string SparseAutoencoder::describe() const {
+  std::ostringstream os;
+  os << "Sparse Autoencoder " << config_.visible << " -> " << config_.hidden
+     << " (rho=" << config_.rho << " beta=" << config_.beta
+     << (config_.tied_weights ? ", tied" : "") << ")";
+  return os.str();
+}
+
 double SparseAutoencoder::cost(const la::Matrix& x, Workspace& ws) const {
   const double m = static_cast<double>(x.rows());
   la::col_mean(ws.y, ws.rho_hat);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/encoder.hpp"
 #include "core/gradient_buffers.hpp"
 #include "la/matrix.hpp"
 #include "util/rng.hpp"
@@ -32,13 +33,18 @@ struct SaeConfig {
   bool tied_weights = false;
 };
 
-class SparseAutoencoder {
+class SparseAutoencoder : public Encoder {
  public:
   SparseAutoencoder(SaeConfig config, std::uint64_t seed);
 
   const SaeConfig& config() const { return config_; }
   la::Index visible() const { return config_.visible; }
   la::Index hidden() const { return config_.hidden; }
+
+  // Encoder interface: the hidden code is the model's inference output.
+  la::Index input_dim() const override { return config_.visible; }
+  la::Index output_dim() const override { return config_.hidden; }
+  std::string describe() const override;
 
   // Parameters, exposed for optimizers/tests. W1: hidden×visible,
   // W2: visible×hidden (a transposed-weight decoder; NOT tied weights).
@@ -66,8 +72,8 @@ class SparseAutoencoder {
   /// Forward pass: fills ws.y and ws.z from x (batch×visible).
   void forward(const la::Matrix& x, Workspace& ws, bool fused) const;
 
-  /// Hidden activations only (stacking): y = sigmoid(x·W1ᵀ + b1).
-  void encode(const la::Matrix& x, la::Matrix& y) const;
+  /// Hidden activations only (stacking, serving): y = sigmoid(x·W1ᵀ + b1).
+  void encode(const la::Matrix& x, la::Matrix& y) const override;
 
   /// Full cost J on the batch currently in ws (after forward()).
   double cost(const la::Matrix& x, Workspace& ws) const;

@@ -54,6 +54,15 @@ std::vector<TrainReport> StackedAutoencoder::pretrain(
   return reports;
 }
 
+std::string StackedAutoencoder::describe() const {
+  std::ostringstream os;
+  os << "Stacked Autoencoder";
+  for (std::size_t k = 0; k < sizes_.size(); ++k)
+    os << (k == 0 ? " " : " -> ") << sizes_[k];
+  os << " (" << layers_.size() << " layers)";
+  return os.str();
+}
+
 void StackedAutoencoder::encode(const la::Matrix& x, la::Matrix& out) const {
   DEEPPHI_CHECK_MSG(x.cols() == sizes_.front(),
                     "input dim " << x.cols() << " != " << sizes_.front());

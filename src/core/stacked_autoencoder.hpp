@@ -8,13 +8,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/encoder.hpp"
 #include "core/sparse_autoencoder.hpp"
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
 
 namespace deepphi::core {
 
-class StackedAutoencoder {
+class StackedAutoencoder : public Encoder {
  public:
   /// `layer_sizes` = {visible, h1, h2, ...}: layer k is an SAE with
   /// visible=layer_sizes[k], hidden=layer_sizes[k+1]. The paper's Table I
@@ -36,7 +37,12 @@ class StackedAutoencoder {
 
   /// Encodes x (batch×visible) through every layer into `out`
   /// (batch×layer_sizes.back()).
-  void encode(const la::Matrix& x, la::Matrix& out) const;
+  void encode(const la::Matrix& x, la::Matrix& out) const override;
+
+  // Encoder interface.
+  la::Index input_dim() const override { return sizes_.front(); }
+  la::Index output_dim() const override { return sizes_.back(); }
+  std::string describe() const override;
 
  private:
   std::vector<la::Index> sizes_;

@@ -1,0 +1,258 @@
+#include "serve/inference_server.hpp"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "util/error.hpp"
+
+namespace deepphi::serve {
+
+namespace {
+
+/// Serving telemetry schema tag (run records live alongside the training
+/// records of deepphi.telemetry.v1 in one JSONL file).
+constexpr const char* kServeSchema = "deepphi.serve.v1";
+
+void fail(std::promise<std::vector<float>>& p, const std::string& what) {
+  p.set_exception(std::make_exception_ptr(util::Error(what)));
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const core::Encoder& model, ServeConfig config)
+    : model_(model),
+      config_(config),
+      queue_(config.queue_capacity),
+      pool_(std::max(1u, config.workers)),
+      max_inflight_(static_cast<int>(std::max(1u, config.workers)) + 1) {
+  DEEPPHI_CHECK_MSG(config_.max_batch >= 1,
+                    "max_batch must be >= 1, got " << config_.max_batch);
+  DEEPPHI_CHECK_MSG(config_.max_delay_s >= 0,
+                    "max_delay_s must be >= 0, got " << config_.max_delay_s);
+  if (config_.telemetry) {
+    using obs::TelemetryField;
+    config_.telemetry->emit(
+        "serve_config",
+        {TelemetryField::str("schema", kServeSchema),
+         TelemetryField::str("model", model_.describe()),
+         TelemetryField::integer("input_dim", model_.input_dim()),
+         TelemetryField::integer("output_dim", model_.output_dim()),
+         TelemetryField::integer("max_batch", config_.max_batch),
+         TelemetryField::num("max_delay_s", config_.max_delay_s),
+         TelemetryField::integer(
+             "queue_capacity",
+             static_cast<std::int64_t>(config_.queue_capacity)),
+         TelemetryField::integer("workers", pool_.size())});
+  }
+  batcher_ = std::thread([this] {
+    obs::set_thread_name("serve-batcher");
+    batcher_loop();
+  });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<std::vector<float>> InferenceServer::submit(
+    std::vector<float> input) {
+  DEEPPHI_CHECK_MSG(
+      static_cast<la::Index>(input.size()) == model_.input_dim(),
+      "request dim " << input.size() << " != model input dim "
+                     << model_.input_dim());
+  Request r;
+  r.input = std::move(input);
+  r.enqueue_s = obs::Profiler::now_s();
+  r.enqueue_tp = std::chrono::steady_clock::now();
+  std::future<std::vector<float>> fut = r.result.get_future();
+
+  if (shutdown_started_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    fail(r.result, "inference server is shutting down");
+    return fut;
+  }
+  // Keep the promise alive across the push attempt: the queue never touches
+  // it on rejection.
+  std::promise<std::vector<float>>* promise = &r.result;
+  if (!queue_.try_push(std::move(r))) {
+    // try_push only moves on success, so `promise` is still ours here.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& rejected = obs::counter("serve.rejected");
+    rejected.add();
+    fail(*promise,
+         queue_.closed() ? "inference server is shutting down"
+                         : "inference server overloaded: request queue full");
+    return fut;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& requests = obs::counter("serve.requests");
+  requests.add();
+  return fut;
+}
+
+std::future<std::vector<float>> InferenceServer::submit(const float* row,
+                                                        la::Index dim) {
+  return submit(std::vector<float>(row, row + dim));
+}
+
+void InferenceServer::batcher_loop() {
+  for (;;) {
+    {
+      // Throttle: never hold more than max_inflight_ coalesced batches in
+      // the pool — bounds gathered-matrix memory under overload.
+      std::unique_lock<std::mutex> lock(inflight_mutex_);
+      inflight_cv_.wait(lock, [&] { return inflight_ < max_inflight_; });
+    }
+    std::vector<Request> batch;
+    {
+      DEEPPHI_PROFILE_SCOPE("serve.collect");
+      batch = queue_.collect(static_cast<std::size_t>(config_.max_batch),
+                             config_.max_delay_s);
+    }
+    if (batch.empty()) return;  // queue closed and drained
+
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      ++inflight_;
+      static obs::Gauge& inflight = obs::gauge("serve.inflight_batches");
+      inflight.set(inflight_);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& batches = obs::counter("serve.batches");
+    batches.add();
+
+    // std::function needs a copyable callable; Request holds a move-only
+    // promise, so the batch rides in a shared_ptr.
+    auto shared = std::make_shared<std::vector<Request>>(std::move(batch));
+    pool_.submit([this, shared] { run_batch(std::move(*shared)); });
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Request> batch) {
+  struct InflightSlot {
+    InferenceServer* s;
+    ~InflightSlot() {
+      {
+        std::lock_guard<std::mutex> lock(s->inflight_mutex_);
+        --s->inflight_;
+        static obs::Gauge& inflight = obs::gauge("serve.inflight_batches");
+        inflight.set(s->inflight_);
+      }
+      s->inflight_cv_.notify_one();
+    }
+  } slot{this};
+
+  const la::Index rows = static_cast<la::Index>(batch.size());
+  const double batch_start = obs::Profiler::now_s();
+  // FIFO collect: front is the oldest request, so this is the worst queue
+  // wait in the batch.
+  const double queue_wait = batch_start - batch.front().enqueue_s;
+
+  la::Matrix x = la::Matrix::uninitialized(rows, model_.input_dim());
+  {
+    DEEPPHI_PROFILE_SCOPE("serve.gather");
+    for (la::Index r = 0; r < rows; ++r)
+      std::memcpy(x.row(r), batch[static_cast<std::size_t>(r)].input.data(),
+                  sizeof(float) * static_cast<std::size_t>(x.cols()));
+  }
+
+  la::Matrix out;
+  double compute_s = 0;
+  try {
+    DEEPPHI_PROFILE_SCOPE("serve.encode");
+    const double t0 = obs::Profiler::now_s();
+    model_.encode(x, out);
+    compute_s = obs::Profiler::now_s() - t0;
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Request& r : batch) r.result.set_exception(err);
+    failed_.fetch_add(rows, std::memory_order_relaxed);
+    return;
+  }
+
+  {
+    DEEPPHI_PROFILE_SCOPE("serve.scatter");
+    for (la::Index r = 0; r < rows; ++r) {
+      Request& req = batch[static_cast<std::size_t>(r)];
+      std::vector<float> result(out.row(r), out.row(r) + out.cols());
+      latency_.record(obs::Profiler::now_s() - req.enqueue_s);
+      req.result.set_value(std::move(result));
+    }
+  }
+  completed_.fetch_add(rows, std::memory_order_relaxed);
+  compute_s_.fetch_add(compute_s, std::memory_order_relaxed);
+  queue_wait_s_.fetch_add(queue_wait, std::memory_order_relaxed);
+  static obs::Counter& coalesced = obs::counter("serve.coalesced_rows");
+  coalesced.add(rows);
+  static obs::Gauge& batch_rows = obs::gauge("serve.batch_rows");
+  batch_rows.set(static_cast<double>(rows));
+
+  if (config_.telemetry) {
+    using obs::TelemetryField;
+    config_.telemetry->emit(
+        "serve_batch",
+        {TelemetryField::integer("batch",
+                                 batches_.load(std::memory_order_relaxed)),
+         TelemetryField::integer("coalesced", rows),
+         TelemetryField::num("queue_wait_s", queue_wait),
+         TelemetryField::num("compute_s", compute_s),
+         TelemetryField::num("batch_wall_s",
+                             obs::Profiler::now_s() - batch_start)});
+  }
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (shutdown_done_) return;
+  shutdown_started_.store(true, std::memory_order_release);
+  queue_.close();  // admission off; collect() drains without deadline waits
+  if (batcher_.joinable()) batcher_.join();
+  pool_.wait_idle();
+  emit_summary();
+  shutdown_done_ = true;
+}
+
+void InferenceServer::emit_summary() {
+  if (!config_.telemetry) return;
+  const ServerStats s = stats();
+  using obs::TelemetryField;
+  config_.telemetry->emit_metrics(
+      "serve_summary",
+      {TelemetryField::str("schema", kServeSchema),
+       TelemetryField::integer("submitted", s.submitted),
+       TelemetryField::integer("rejected", s.rejected),
+       TelemetryField::integer("completed", s.completed),
+       TelemetryField::integer("failed", s.failed),
+       TelemetryField::integer("batches", s.batches),
+       TelemetryField::num("mean_batch_size", s.mean_batch_size),
+       TelemetryField::integer(
+           "peak_queue_depth",
+           static_cast<std::int64_t>(s.peak_queue_depth)),
+       TelemetryField::num("total_compute_s", s.total_compute_s),
+       TelemetryField::num("latency_mean_s", s.latency.mean_s),
+       TelemetryField::num("latency_p50_s", s.latency.p50_s),
+       TelemetryField::num("latency_p95_s", s.latency.p95_s),
+       TelemetryField::num("latency_p99_s", s.latency.p99_s),
+       TelemetryField::num("latency_max_s", s.latency.max_s)});
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      s.batches > 0
+          ? static_cast<double>(s.completed) / static_cast<double>(s.batches)
+          : 0;
+  s.peak_queue_depth = queue_.peak_size();
+  s.total_compute_s = compute_s_.load(std::memory_order_relaxed);
+  s.total_queue_wait_s = queue_wait_s_.load(std::memory_order_relaxed);
+  s.latency = latency_.summary();
+  return s;
+}
+
+}  // namespace deepphi::serve

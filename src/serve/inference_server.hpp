@@ -1,0 +1,148 @@
+// Multi-threaded batched inference serving engine.
+//
+// The paper's central performance lesson (Fig. 9, §IV) is that many-core
+// throughput only materializes when work arrives in GEMM-friendly
+// mini-batches; single-example inference wastes the machine exactly the way
+// tiny training batches do. InferenceServer applies that lesson to serving:
+//
+//   clients ── submit() ──► RequestQueue (bounded; rejects when full)
+//                               │ collect(max_batch, max_delay)
+//                          batcher thread — coalesces waiting requests
+//                               │ one la::Matrix of up-to-max_batch rows
+//                          par::ThreadPool — Encoder::encode on the batch,
+//                               │ rows scattered back to per-request futures
+//                          client futures become ready
+//
+// Properties:
+//  * One shared read-only core::Encoder: any checkpoint loaded through
+//    model_io::load_any serves through this same code path, and the batch
+//    rows are bitwise identical to direct single-example encode() calls
+//    (the GEMM's k-accumulation order is independent of the batch row
+//    count — see la/gemm.hpp).
+//  * Bounded everywhere: the queue rejects at capacity (backpressure), and
+//    at most workers+1 coalesced batches are in flight at once, so overload
+//    degrades into fast rejections instead of OOM.
+//  * Tail latency is bounded by the size-or-deadline flush: a lone request
+//    waits at most max_delay before it rides a (possibly singleton) batch.
+//  * Observability reuses the obs:: stack: queue-depth/in-flight gauges and
+//    request/batch counters in the metrics registry, DEEPPHI_PROFILE_SCOPE
+//    spans per stage, and per-batch + summary JSONL telemetry records under
+//    the "deepphi.serve.v1" schema (see docs/serving.md).
+//  * Graceful shutdown: shutdown() stops admission, drains every queued
+//    request through the normal batch path, and joins all threads; the
+//    destructor does the same.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/latency_recorder.hpp"
+#include "serve/request_queue.hpp"
+
+namespace deepphi::serve {
+
+struct ServeConfig {
+  /// Largest coalesced batch (rows per Encoder::encode call).
+  la::Index max_batch = 64;
+  /// Deadline flush: a request waits at most this long in the queue before
+  /// its batch is dispatched, full or not. 0 flushes immediately (batching
+  /// then only coalesces requests that are already waiting).
+  double max_delay_s = 2e-3;
+  /// Queue slots; try_push beyond this rejects (backpressure).
+  std::size_t queue_capacity = 1024;
+  /// Compute workers. 1 already pipelines compute with batch collection;
+  /// more lets independent batches overlap (each encode() call runs its own
+  /// OpenMP region, so large worker counts oversubscribe cores).
+  unsigned workers = 1;
+  /// Optional JSONL sink for per-batch and summary records
+  /// (schema "deepphi.serve.v1"). Must outlive the server.
+  obs::TelemetrySink* telemetry = nullptr;
+};
+
+/// Aggregate view of a server's lifetime, cheap to snapshot at any point.
+struct ServerStats {
+  std::int64_t submitted = 0;   // admitted requests
+  std::int64_t rejected = 0;    // refused by backpressure (or post-shutdown)
+  std::int64_t completed = 0;   // futures fulfilled with a result
+  std::int64_t failed = 0;      // futures failed by a compute error
+  std::int64_t batches = 0;     // coalesced batches dispatched
+  double mean_batch_size = 0;   // completed / batches
+  std::size_t peak_queue_depth = 0;
+  double total_compute_s = 0;   // sum of per-batch encode wall time
+  double total_queue_wait_s = 0;  // sum over batches of oldest-request wait
+  LatencySummary latency;       // end-to-end submit -> result-ready
+};
+
+class InferenceServer {
+ public:
+  /// `model` is shared and read-only; it must outlive the server and its
+  /// encode() must be thread-safe (every core::Encoder in this repo is).
+  InferenceServer(const core::Encoder& model, ServeConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submits one example (size must equal model.input_dim(); anything else
+  /// throws immediately — that is a caller bug, not load). The future yields
+  /// the encoded row, or throws util::Error if the server rejected the
+  /// request (queue full / shutting down) or the model failed.
+  std::future<std::vector<float>> submit(std::vector<float> input);
+
+  /// Convenience overload: copies `row[0..dim)`.
+  std::future<std::vector<float>> submit(const float* row, la::Index dim);
+
+  /// Stops admission, drains every queued request through the batch path,
+  /// waits for in-flight compute, emits the telemetry summary, and joins all
+  /// threads. Idempotent; called by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServeConfig& config() const { return config_; }
+  const core::Encoder& model() const { return model_; }
+
+  /// Requests currently waiting in the queue (tests, monitoring).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void batcher_loop();
+  void run_batch(std::vector<Request> batch);
+  void emit_summary();
+
+  const core::Encoder& model_;
+  const ServeConfig config_;
+  RequestQueue queue_;
+  par::ThreadPool pool_;
+  LatencyRecorder latency_;
+
+  // In-flight batch throttle: the batcher stops collecting while
+  // `max_inflight_` batches are queued or running on the pool, bounding the
+  // memory pinned by gathered-but-uncomputed matrices.
+  const int max_inflight_;
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  int inflight_ = 0;
+
+  std::atomic<std::int64_t> submitted_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<double> compute_s_{0};
+  std::atomic<double> queue_wait_s_{0};
+
+  std::atomic<bool> shutdown_started_{false};
+  std::mutex shutdown_mutex_;
+  bool shutdown_done_ = false;
+  std::thread batcher_;
+};
+
+}  // namespace deepphi::serve

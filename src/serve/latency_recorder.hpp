@@ -1,0 +1,47 @@
+// Thread-safe end-to-end latency accounting for the serving engine.
+//
+// Every completed request records one sample (submit → result-ready, on the
+// profiler's monotonic clock); summary() sorts a copy and reports the tail
+// quantiles the serving SLO argument is made in (p50/p95/p99). Kept separate
+// from obs::metrics because quantiles need the raw samples, not a gauge.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace deepphi::serve {
+
+struct LatencySummary {
+  std::int64_t count = 0;
+  double mean_s = 0;
+  double p50_s = 0;
+  double p95_s = 0;
+  double p99_s = 0;
+  double max_s = 0;
+};
+
+class LatencyRecorder {
+ public:
+  /// Caps memory for long-running servers: once `max_samples` is reached,
+  /// new samples overwrite uniformly-spaced old slots (keeps the summary
+  /// representative without unbounded growth). 0 means unbounded.
+  explicit LatencyRecorder(std::size_t max_samples = 1 << 20);
+
+  void record(double seconds);
+
+  /// Samples recorded so far (monotonic, unaffected by the cap).
+  std::int64_t count() const;
+
+  LatencySummary summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  std::size_t max_samples_;
+  std::int64_t total_ = 0;
+  double sum_s_ = 0;
+  double max_s_ = 0;
+};
+
+}  // namespace deepphi::serve

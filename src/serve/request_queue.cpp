@@ -1,0 +1,79 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace deepphi::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+bool RequestQueue::try_push(Request&& r) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(r));
+    peak_ = std::max(peak_, items_.size());
+    static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+    depth.set(static_cast<double>(items_.size()));
+  }
+  nonempty_.notify_one();
+  return true;
+}
+
+std::vector<Request> RequestQueue::collect(std::size_t max_batch,
+                                           double max_delay_s) {
+  max_batch = std::max<std::size_t>(max_batch, 1);
+  std::unique_lock<std::mutex> lock(mutex_);
+  nonempty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return {};  // closed and drained
+
+  // Size-or-deadline wait: the deadline is anchored to the OLDEST request so
+  // a trickle of arrivals cannot postpone the flush indefinitely.
+  if (items_.size() < max_batch && !closed_ && max_delay_s > 0) {
+    const auto deadline =
+        items_.front().enqueue_tp +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(max_delay_s));
+    nonempty_.wait_until(lock, deadline, [&] {
+      return closed_ || items_.size() >= max_batch;
+    });
+  }
+
+  const std::size_t n = std::min(max_batch, items_.size());
+  std::vector<Request> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  static obs::Gauge& depth = obs::gauge("serve.queue_depth");
+  depth.set(static_cast<double>(items_.size()));
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  nonempty_.notify_all();
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::peak_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+}  // namespace deepphi::serve

@@ -1,0 +1,532 @@
+// The serving stack: Encoder conformance across every model type,
+// model_io::load_any magic dispatch, RequestQueue semantics, and the
+// InferenceServer's coalescing / deadline / backpressure / drain behaviour.
+//
+// The load-bearing property is bitwise identity: a request served through a
+// coalesced batch must return exactly the bytes a direct single-row encode()
+// produces (the GEMM's k-accumulation order is independent of the batch row
+// count — la/gemm.hpp), so callers can move between offline and served
+// inference without any numeric drift.
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/deep_autoencoder.hpp"
+#include "core/model_io.hpp"
+#include "core/softmax.hpp"
+#include "serve/inference_server.hpp"
+#include "serve/request_queue.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace deepphi;
+
+la::Matrix random_rows(la::Index rows, la::Index dim, std::uint64_t seed) {
+  util::Rng rng(seed, /*stream=*/0x5E17);
+  la::Matrix m(rows, dim);
+  for (la::Index i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform_float();
+  return m;
+}
+
+bool rows_bitwise_equal(const float* a, const float* b, la::Index n) {
+  return std::memcmp(a, b, sizeof(float) * static_cast<std::size_t>(n)) == 0;
+}
+
+/// Encodes row r of x alone (a 1-row matrix), the reference a served batch
+/// must match bitwise.
+std::vector<float> encode_single(const core::Encoder& model,
+                                 const la::Matrix& x, la::Index r) {
+  la::Matrix one(1, x.cols());
+  std::memcpy(one.row(0), x.row(r),
+              sizeof(float) * static_cast<std::size_t>(x.cols()));
+  la::Matrix out;
+  model.encode(one, out);
+  return std::vector<float>(out.row(0), out.row(0) + out.cols());
+}
+
+// ---------------------------------------------------------------------------
+// Encoder conformance: every model type speaks the same interface and its
+// encode() agrees bitwise with the type-specific inference entry point.
+
+TEST(EncoderInterface, SparseAutoencoderConforms) {
+  const core::SparseAutoencoder sae(core::SaeConfig{12, 7}, 1);
+  const core::Encoder& enc = sae;
+  EXPECT_EQ(enc.input_dim(), 12);
+  EXPECT_EQ(enc.output_dim(), 7);
+  const la::Matrix x = random_rows(5, 12, 2);
+  la::Matrix a, b;
+  enc.encode(x, a);
+  sae.encode(x, b);
+  ASSERT_EQ(a.rows(), 5);
+  ASSERT_EQ(a.cols(), 7);
+  EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size()));
+  EXPECT_NE(enc.describe().find("Sparse Autoencoder"), std::string::npos);
+}
+
+TEST(EncoderInterface, RbmEncodeIsHiddenMean) {
+  const core::Rbm rbm(core::RbmConfig{10, 6}, 3);
+  const core::Encoder& enc = rbm;
+  EXPECT_EQ(enc.input_dim(), 10);
+  EXPECT_EQ(enc.output_dim(), 6);
+  const la::Matrix x = random_rows(4, 10, 4);
+  la::Matrix a, b;
+  enc.encode(x, a);
+  rbm.hidden_mean(x, b);
+  EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size()));
+}
+
+TEST(EncoderInterface, DbnUpPassAliasesEncode) {
+  const core::Dbn dbn({10, 8, 5}, core::RbmConfig{}, 5);
+  const core::Encoder& enc = dbn;
+  EXPECT_EQ(enc.input_dim(), 10);
+  EXPECT_EQ(enc.output_dim(), 5);
+  const la::Matrix x = random_rows(6, 10, 6);
+  la::Matrix a, b;
+  enc.encode(x, a);
+  dbn.up_pass(x, b);  // deprecated alias must stay bit-identical
+  EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size()));
+}
+
+TEST(EncoderInterface, StackedAutoencoderConforms) {
+  const core::StackedAutoencoder stack({10, 8, 5}, core::SaeConfig{}, 7);
+  const core::Encoder& enc = stack;
+  EXPECT_EQ(enc.input_dim(), 10);
+  EXPECT_EQ(enc.output_dim(), 5);
+  la::Matrix out;
+  enc.encode(random_rows(3, 10, 8), out);
+  EXPECT_EQ(out.cols(), 5);
+}
+
+TEST(EncoderInterface, DeepAutoencoderEmitsBottleneckCode) {
+  const core::StackedAutoencoder stack({10, 8, 5}, core::SaeConfig{}, 9);
+  const core::DeepAutoencoder deep(stack);
+  const core::Encoder& enc = deep;
+  EXPECT_EQ(enc.input_dim(), 10);
+  EXPECT_EQ(enc.output_dim(), deep.code_dim());
+  la::Matrix out;
+  enc.encode(random_rows(3, 10, 10), out);
+  EXPECT_EQ(out.cols(), deep.code_dim());
+}
+
+TEST(EncoderInterface, SoftmaxEncodeIsProbabilities) {
+  const core::SoftmaxClassifier clf(core::SoftmaxConfig{9, 4}, 11);
+  const core::Encoder& enc = clf;
+  EXPECT_EQ(enc.input_dim(), 9);
+  EXPECT_EQ(enc.output_dim(), 4);
+  const la::Matrix x = random_rows(5, 9, 12);
+  la::Matrix a, b;
+  enc.encode(x, a);
+  clf.probabilities(x, b);
+  EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size()));
+  for (la::Index r = 0; r < a.rows(); ++r) {
+    double sum = 0;
+    for (la::Index c = 0; c < a.cols(); ++c) sum += a.at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// load_any: one entry point for all four checkpoint formats.
+
+class LoadAnyTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(LoadAnyTest, SniffsAllFourMagics) {
+  const core::SparseAutoencoder sae(core::SaeConfig{8, 5}, 1);
+  const core::Rbm rbm(core::RbmConfig{8, 5}, 2);
+  const core::StackedAutoencoder stack({8, 6, 4}, core::SaeConfig{}, 3);
+  const core::Dbn dbn({8, 6, 4}, core::RbmConfig{}, 4);
+  core::save_model(sae, path("any.dpae"));
+  core::save_model(rbm, path("any.dprb"));
+  core::save_model(stack, path("any.dpsa"));
+  core::save_model(dbn, path("any.dpdb"));
+  EXPECT_EQ(model_io::sniff_magic(path("any.dpae")), "DPAE");
+  EXPECT_EQ(model_io::sniff_magic(path("any.dprb")), "DPRB");
+  EXPECT_EQ(model_io::sniff_magic(path("any.dpsa")), "DPSA");
+  EXPECT_EQ(model_io::sniff_magic(path("any.dpdb")), "DPDB");
+}
+
+TEST_F(LoadAnyTest, RoundTripsBitwiseForEveryType) {
+  const la::Matrix x = random_rows(6, 8, 20);
+
+  const auto check = [&](const core::Encoder& direct, const std::string& p) {
+    std::unique_ptr<core::Encoder> loaded = model_io::load_any(p);
+    ASSERT_NE(loaded, nullptr) << p;
+    EXPECT_EQ(loaded->input_dim(), direct.input_dim()) << p;
+    EXPECT_EQ(loaded->output_dim(), direct.output_dim()) << p;
+    la::Matrix a, b;
+    loaded->encode(x, a);
+    direct.encode(x, b);
+    EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size())) << p;
+  };
+
+  const core::SparseAutoencoder sae(core::SaeConfig{8, 5}, 1);
+  core::save_model(sae, path("rt.dpae"));
+  check(sae, path("rt.dpae"));
+
+  const core::Rbm rbm(core::RbmConfig{8, 5}, 2);
+  core::save_model(rbm, path("rt.dprb"));
+  check(rbm, path("rt.dprb"));
+
+  const core::StackedAutoencoder stack({8, 6, 4}, core::SaeConfig{}, 3);
+  core::save_model(stack, path("rt.dpsa"));
+  check(stack, path("rt.dpsa"));
+
+  const core::Dbn dbn({8, 6, 4}, core::RbmConfig{}, 4);
+  core::save_model(dbn, path("rt.dpdb"));
+  check(dbn, path("rt.dpdb"));
+}
+
+TEST_F(LoadAnyTest, RejectsMissingFile) {
+  EXPECT_THROW(model_io::load_any(path("nope.dpae")), util::Error);
+}
+
+TEST_F(LoadAnyTest, RejectsUnknownMagic) {
+  const std::string p = path("bogus.bin");
+  std::ofstream(p, std::ios::binary) << "XXXXsome bytes that are not a model";
+  EXPECT_THROW(model_io::load_any(p), util::Error);
+}
+
+TEST_F(LoadAnyTest, RejectsTruncatedHeader) {
+  // A valid magic followed by nothing: sniffing succeeds, the typed loader
+  // must fail cleanly instead of reading garbage.
+  const std::string p = path("trunc.dpsa");
+  std::ofstream(p, std::ios::binary) << "DPSA";
+  EXPECT_THROW(model_io::load_any(p), std::exception);
+
+  const std::string tiny = path("tiny.bin");
+  std::ofstream(tiny, std::ios::binary) << "DP";  // shorter than a magic
+  EXPECT_THROW(model_io::load_any(tiny), util::Error);
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue semantics.
+
+serve::Request make_request(float v) {
+  serve::Request r;
+  r.input = {v};
+  r.enqueue_tp = std::chrono::steady_clock::now();
+  return r;
+}
+
+TEST(RequestQueue, RejectsPushBeyondCapacityAndAfterClose) {
+  serve::RequestQueue q(2);
+  EXPECT_TRUE(q.try_push(make_request(1)));
+  EXPECT_TRUE(q.try_push(make_request(2)));
+  serve::Request extra = make_request(3);
+  EXPECT_FALSE(q.try_push(std::move(extra)));
+  // Rejection must not have consumed the request.
+  EXPECT_EQ(extra.input.size(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  q.close();
+  EXPECT_FALSE(q.try_push(make_request(4)));
+}
+
+TEST(RequestQueue, CollectIsFifoAndRespectsMaxBatch) {
+  serve::RequestQueue q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(make_request(i)));
+  std::vector<serve::Request> first = q.collect(3, /*max_delay_s=*/0);
+  ASSERT_EQ(first.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(first[i].input[0], i);
+  std::vector<serve::Request> rest = q.collect(8, 0);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].input[0], 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, CollectDrainsThenSignalsClosedWithEmpty) {
+  serve::RequestQueue q(4);
+  ASSERT_TRUE(q.try_push(make_request(1)));
+  q.close();
+  EXPECT_EQ(q.collect(4, /*max_delay_s=*/1.0).size(), 1u);  // no deadline wait
+  EXPECT_TRUE(q.collect(4, 1.0).empty());                   // closed + drained
+}
+
+TEST(RequestQueue, CollectHonorsDeadlineForPartialBatches) {
+  serve::RequestQueue q(4);
+  ASSERT_TRUE(q.try_push(make_request(1)));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<serve::Request> got = q.collect(4, /*max_delay_s=*/0.05);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(got.size(), 1u);
+  // The lone request's deadline had already started at push time; collect
+  // must return once it expires instead of holding out for a full batch.
+  EXPECT_LT(waited, 5.0);
+  EXPECT_GE(waited, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// InferenceServer.
+
+/// Test encoder whose encode() blocks until release() — makes queue/backlog
+/// states reachable deterministically. Output = input (identity), so scatter
+/// order is checkable.
+class GateEncoder : public core::Encoder {
+ public:
+  explicit GateEncoder(la::Index dim) : dim_(dim) {}
+  la::Index input_dim() const override { return dim_; }
+  la::Index output_dim() const override { return dim_; }
+
+  void encode(const la::Matrix& x, la::Matrix& out) const override {
+    entered_.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return open_; });
+    out = la::Matrix(x.rows(), x.cols());
+    std::memcpy(out.data(), x.data(),
+                sizeof(float) * static_cast<std::size_t>(x.size()));
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  int entered() const { return entered_.load(); }
+
+  void wait_entered(int n) const {
+    while (entered_.load() < n)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  la::Index dim_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  mutable bool open_ = false;
+  mutable std::atomic<int> entered_{0};
+};
+
+TEST(InferenceServer, ServedRowsAreBitwiseIdenticalToSingleRowEncode) {
+  const core::StackedAutoencoder model({16, 12, 8}, core::SaeConfig{}, 31);
+  const la::Matrix inputs = random_rows(64, 16, 32);
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = 16;
+  cfg.max_delay_s = 1e-3;
+  cfg.workers = 2;
+  serve::InferenceServer server(model, cfg);
+
+  // Four concurrent clients, 16 requests each: plenty of coalescing across
+  // client boundaries, every result checked against its own-row reference.
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (la::Index r = c; r < inputs.rows(); r += 4) {
+        std::future<std::vector<float>> fut =
+            server.submit(inputs.row(r), inputs.cols());
+        const std::vector<float> got = fut.get();
+        const std::vector<float> want = encode_single(model, inputs, r);
+        if (got.size() != want.size() ||
+            !rows_bitwise_equal(got.data(), want.data(),
+                                static_cast<la::Index>(got.size())))
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 64);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GE(stats.batches, 1);
+}
+
+TEST(InferenceServer, AllFourModelTypesServeThroughOneCodePath) {
+  const std::string dir = testing::TempDir();
+  const core::SparseAutoencoder sae(core::SaeConfig{8, 5}, 1);
+  const core::Rbm rbm(core::RbmConfig{8, 5}, 2);
+  const core::StackedAutoencoder stack({8, 6, 4}, core::SaeConfig{}, 3);
+  const core::Dbn dbn({8, 6, 4}, core::RbmConfig{}, 4);
+  core::save_model(sae, dir + "/serve.dpae");
+  core::save_model(rbm, dir + "/serve.dprb");
+  core::save_model(stack, dir + "/serve.dpsa");
+  core::save_model(dbn, dir + "/serve.dpdb");
+
+  const la::Matrix inputs = random_rows(12, 8, 40);
+  for (const char* name : {"serve.dpae", "serve.dprb", "serve.dpsa",
+                           "serve.dpdb"}) {
+    std::unique_ptr<core::Encoder> model = model_io::load_any(dir + "/" + name);
+    serve::ServeConfig cfg;
+    cfg.max_batch = 8;
+    cfg.max_delay_s = 1e-3;
+    serve::InferenceServer server(*model, cfg);
+    std::vector<std::future<std::vector<float>>> futures;
+    for (la::Index r = 0; r < inputs.rows(); ++r)
+      futures.push_back(server.submit(inputs.row(r), inputs.cols()));
+    for (la::Index r = 0; r < inputs.rows(); ++r) {
+      const std::vector<float> got = futures[static_cast<std::size_t>(r)].get();
+      const std::vector<float> want = encode_single(*model, inputs, r);
+      ASSERT_EQ(got.size(), want.size()) << name;
+      EXPECT_TRUE(rows_bitwise_equal(got.data(), want.data(),
+                                     static_cast<la::Index>(got.size())))
+          << name << " row " << r;
+    }
+  }
+}
+
+TEST(InferenceServer, DeadlineFlushDispatchesPartialBatch) {
+  const core::SparseAutoencoder model(core::SaeConfig{6, 4}, 50);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1024;  // never fills: only the deadline can flush
+  cfg.max_delay_s = 0.05;
+  serve::InferenceServer server(model, cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<std::vector<float>> fut =
+      server.submit(std::vector<float>(6, 0.5f));
+  fut.get();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // The lone request rode a singleton batch after ~max_delay — not sooner
+  // (nothing else arrived) and without waiting for 1023 peers.
+  EXPECT_GE(waited, 0.01);
+  EXPECT_LT(waited, 5.0);
+  server.shutdown();
+  EXPECT_EQ(server.stats().batches, 1);
+}
+
+TEST(InferenceServer, CoalescesBacklogIntoOneBatch) {
+  GateEncoder model(4);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_delay_s = 0;  // flush immediately: coalescing only from backlog
+  cfg.workers = 1;      // => at most 2 batches in flight
+  serve::InferenceServer server(model, cfg);
+
+  std::vector<std::future<std::vector<float>>> futures;
+  const auto submit_one = [&](float v) {
+    futures.push_back(server.submit(std::vector<float>{v, v, v, v}));
+  };
+
+  submit_one(0);
+  model.wait_entered(1);  // batch #1 is inside encode(), gate closed
+  submit_one(1);          // batch #2 gets collected, then the batcher
+                          // throttles (workers+1 batches in flight)
+  while (server.stats().batches < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (int i = 2; i < 42; ++i) submit_one(static_cast<float>(i));
+
+  model.release();  // all 40 backlogged requests must ride ONE batch
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const std::vector<float> got = futures[i].get();
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0], static_cast<float>(i)) << "scatter order broken";
+  }
+  server.shutdown();
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 42);
+  EXPECT_EQ(stats.batches, 3);
+  EXPECT_EQ(stats.peak_queue_depth, 40u);
+}
+
+TEST(InferenceServer, BackpressureRejectsWhenQueueIsFull) {
+  GateEncoder model(4);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 1;
+  cfg.max_delay_s = 0;
+  cfg.queue_capacity = 2;
+  cfg.workers = 1;
+  serve::InferenceServer server(model, cfg);
+
+  // Fill the pipeline: 1 computing + 1 queued on the pool (throttle limit),
+  // then 2 parked in the queue. Every further submit must be rejected, and
+  // the rejection must be an immediately-ready future, not a hang.
+  std::vector<std::future<std::vector<float>>> accepted;
+  int rejected = 0;
+  for (int i = 0; i < 12; ++i) {
+    std::future<std::vector<float>> fut =
+        server.submit(std::vector<float>(4, 1.0f));
+    if (fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      EXPECT_THROW(fut.get(), util::Error);
+      ++rejected;
+    } else {
+      accepted.push_back(std::move(fut));
+    }
+    if (i == 0) model.wait_entered(1);  // pin batch #1 inside encode()
+  }
+  EXPECT_GE(rejected, 12 - 4 - 1);  // compute + pool slot + 2 queue slots
+  EXPECT_EQ(server.stats().rejected, rejected);
+  EXPECT_LE(server.queue_depth(), cfg.queue_capacity);
+
+  model.release();
+  for (auto& f : accepted) EXPECT_EQ(f.get().size(), 4u);  // none lost
+  server.shutdown();
+  EXPECT_EQ(server.stats().completed,
+            static_cast<std::int64_t>(accepted.size()));
+}
+
+TEST(InferenceServer, ShutdownDrainsEveryAcceptedRequest) {
+  const core::SparseAutoencoder model(core::SaeConfig{6, 4}, 60);
+  serve::ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_s = 0.5;  // long deadline: shutdown must not wait it out
+  serve::InferenceServer server(model, cfg);
+
+  std::vector<std::future<std::vector<float>>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(server.submit(std::vector<float>(6, 0.25f)));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.shutdown();
+  const double drain =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (auto& f : futures) EXPECT_EQ(f.get().size(), 4u);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.rejected, 100);
+  EXPECT_EQ(stats.failed, 0);
+  // Drain bypasses the per-batch deadline (100 requests * 0.5s would be
+  // close to a minute if it didn't).
+  EXPECT_LT(drain, 10.0);
+}
+
+TEST(InferenceServer, SubmitAfterShutdownIsRejected) {
+  const core::SparseAutoencoder model(core::SaeConfig{6, 4}, 70);
+  serve::InferenceServer server(model, serve::ServeConfig{});
+  server.shutdown();
+  std::future<std::vector<float>> fut =
+      server.submit(std::vector<float>(6, 0.0f));
+  EXPECT_THROW(fut.get(), util::Error);
+  EXPECT_EQ(server.stats().rejected, 1);
+}
+
+TEST(InferenceServer, WrongDimensionThrowsAtSubmit) {
+  const core::SparseAutoencoder model(core::SaeConfig{6, 4}, 80);
+  serve::InferenceServer server(model, serve::ServeConfig{});
+  EXPECT_THROW(server.submit(std::vector<float>(5, 0.0f)), util::Error);
+  EXPECT_THROW(server.submit(std::vector<float>(7, 0.0f)), util::Error);
+}
+
+TEST(InferenceServer, DestructorShutsDownCleanly) {
+  const core::SparseAutoencoder model(core::SaeConfig{6, 4}, 90);
+  std::future<std::vector<float>> fut;
+  {
+    serve::InferenceServer server(model, serve::ServeConfig{});
+    fut = server.submit(std::vector<float>(6, 1.0f));
+  }  // destructor drains
+  EXPECT_EQ(fut.get().size(), 4u);
+}
+
+}  // namespace

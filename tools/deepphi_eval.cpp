@@ -1,35 +1,27 @@
 // deepphi_eval — inspect and evaluate a trained checkpoint.
 //
-// Auto-detects the checkpoint type from its magic (DPAE / DPRB / DPSA /
-// DPDB), evaluates it on a dataset (DPDS, IDX, or synthetic), and can export
-// the encoded codes as a DPDS dataset for downstream use.
+// Loads ANY checkpoint through model_io::load_any (the magic is sniffed, no
+// per-type flags), evaluates it on a dataset (DPDS, IDX, or synthetic)
+// through the unified core::Encoder interface, and can export the encoded
+// codes as a DPDS dataset for downstream use.
 //
 //   deepphi_eval --model=stack.dpsa --synthetic=digits --examples=1024
 //   deepphi_eval --model=sae.dpae --idx=t10k-images-idx3-ubyte --filters=3
 //   deepphi_eval --model=dbn.dpdb --data=patches.dpds --export-codes=codes.dpds
 #include <cstdio>
-#include <fstream>
 
+#include "core/encoder.hpp"
 #include "core/metrics.hpp"
 #include "core/model_io.hpp"
-#include "obs/profiler.hpp"
 #include "data/binary_io.hpp"
 #include "data/idx_io.hpp"
 #include "data/patches.hpp"
+#include "obs/profiler.hpp"
 #include "util/options.hpp"
 
 namespace {
 
 using namespace deepphi;
-
-std::string read_magic(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
-  char magic[4];
-  in.read(magic, 4);
-  DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' too short for a checkpoint");
-  return std::string(magic, 4);
-}
 
 data::Dataset load_data(const util::Options& options) {
   if (options.has("data")) return data::load_dataset(options.get_string("data"));
@@ -67,6 +59,49 @@ void print_filters(const la::Matrix& w, int count) {
                 core::ascii_filter(w, u, side).c_str());
 }
 
+/// The model's first-layer weight matrix, when it has one to render
+/// (per-type knowledge stays here, out of the shared evaluation path).
+const la::Matrix* first_layer_weights(const core::Encoder& model) {
+  if (auto* sae = dynamic_cast<const core::SparseAutoencoder*>(&model))
+    return &sae->w1();
+  if (auto* rbm = dynamic_cast<const core::Rbm*>(&model)) return &rbm->w();
+  if (auto* stack = dynamic_cast<const core::StackedAutoencoder*>(&model))
+    return &stack->layer(0).w1();
+  if (auto* dbn = dynamic_cast<const core::Dbn*>(&model))
+    return &dbn->layer(0).w();
+  return nullptr;
+}
+
+/// Type-specific quality metrics (reconstruction error needs the decoder
+/// half, which the Encoder interface deliberately does not expose).
+void print_model_metrics(const core::Encoder& model,
+                         const data::Dataset& dataset) {
+  if (auto* sae = dynamic_cast<const core::SparseAutoencoder*>(&model)) {
+    std::printf("reconstruction error: %.5f\n",
+                core::reconstruction_error(*sae, dataset, dataset.size()));
+    std::printf("mean hidden activation: %.4f\n",
+                core::mean_hidden_activation(*sae, dataset, dataset.size()));
+    std::printf("localized filters: %.0f%%\n",
+                core::localized_filter_fraction(sae->w1()) * 100);
+  } else if (auto* rbm = dynamic_cast<const core::Rbm*>(&model)) {
+    std::printf("reconstruction error: %.5f\n",
+                core::reconstruction_error(*rbm, dataset, dataset.size()));
+    la::Matrix x(dataset.size(), dataset.dim());
+    dataset.copy_batch(0, dataset.size(), x);
+    core::Rbm::Workspace ws;
+    std::printf("mean free energy: %.4f\n", rbm->free_energy(x, ws));
+  } else if (auto* stack =
+                 dynamic_cast<const core::StackedAutoencoder*>(&model)) {
+    std::printf("layer-0 reconstruction error: %.5f\n",
+                core::reconstruction_error(stack->layer(0), dataset,
+                                           dataset.size()));
+  } else if (auto* dbn = dynamic_cast<const core::Dbn*>(&model)) {
+    std::printf("layer-0 reconstruction error: %.5f\n",
+                core::reconstruction_error(dbn->layer(0), dataset,
+                                           dataset.size()));
+  }
+}
+
 int run(int argc, char** argv) {
   util::Options options = util::Options::parse(argc, argv);
   options.declare("model", "checkpoint path (.dpae/.dprb/.dpsa/.dpdb)");
@@ -94,78 +129,30 @@ int run(int argc, char** argv) {
   }
 
   const std::string path = options.get_string("model");
-  const std::string magic = read_magic(path);
+  std::unique_ptr<core::Encoder> model = model_io::load_any(path);
+  std::printf("%s\n", model->describe().c_str());
+
   data::Dataset dataset = load_data(options);
-  const int filters = static_cast<int>(options.get_int("filters"));
   la::Matrix x(dataset.size(), dataset.dim());
   dataset.copy_batch(0, dataset.size(), x);
 
-  if (magic == "DPAE") {
-    core::SparseAutoencoder model = core::load_sae(path);
-    std::printf("Sparse Autoencoder %lld -> %lld (rho=%.3f beta=%.3f)\n",
-                static_cast<long long>(model.visible()),
-                static_cast<long long>(model.hidden()), model.config().rho,
-                model.config().beta);
-    std::printf("reconstruction error: %.5f\n",
-                core::reconstruction_error(model, dataset, dataset.size()));
-    std::printf("mean hidden activation: %.4f\n",
-                core::mean_hidden_activation(model, dataset, dataset.size()));
-    std::printf("localized filters: %.0f%%\n",
-                core::localized_filter_fraction(model.w1()) * 100);
-    la::Matrix codes;
-    model.encode(x, codes);
-    maybe_export_codes(options, codes);
-    if (filters > 0) print_filters(model.w1(), filters);
-  } else if (magic == "DPRB") {
-    core::Rbm model = core::load_rbm(path);
-    std::printf("RBM %lld -> %lld (cd_k=%d, %s visibles)\n",
-                static_cast<long long>(model.visible()),
-                static_cast<long long>(model.hidden()), model.config().cd_k,
-                model.config().visible_type == core::VisibleType::kGaussian
-                    ? "Gaussian"
-                    : "Bernoulli");
-    std::printf("reconstruction error: %.5f\n",
-                core::reconstruction_error(model, dataset, dataset.size()));
-    core::Rbm::Workspace ws;
-    std::printf("mean free energy: %.4f\n", model.free_energy(x, ws));
-    la::Matrix codes;
-    model.hidden_mean(x, codes);
-    maybe_export_codes(options, codes);
-    if (filters > 0) print_filters(model.w(), filters);
-  } else if (magic == "DPSA") {
-    core::StackedAutoencoder model = core::load_stacked_sae(path);
-    std::printf("Stacked Autoencoder:");
-    for (la::Index s : model.layer_sizes())
-      std::printf(" %lld", static_cast<long long>(s));
-    std::printf(" (%zu layers)\n", model.layers());
-    std::printf("layer-0 reconstruction error: %.5f\n",
-                core::reconstruction_error(model.layer(0), dataset,
-                                           dataset.size()));
-    la::Matrix codes;
-    model.encode(x, codes);
-    double mean = 0;
-    for (la::Index i = 0; i < codes.size(); ++i) mean += codes.data()[i];
-    std::printf("top code: %lldd, mean activity %.4f\n",
-                static_cast<long long>(codes.cols()),
-                mean / static_cast<double>(codes.size()));
-    maybe_export_codes(options, codes);
-    if (filters > 0) print_filters(model.layer(0).w1(), filters);
-  } else if (magic == "DPDB") {
-    core::Dbn model = core::load_dbn(path);
-    std::printf("DBN:");
-    for (la::Index s : model.layer_sizes())
-      std::printf(" %lld", static_cast<long long>(s));
-    std::printf(" (%zu RBMs)\n", model.layers());
-    std::printf("layer-0 reconstruction error: %.5f\n",
-                core::reconstruction_error(model.layer(0), dataset,
-                                           dataset.size()));
-    la::Matrix codes;
-    model.up_pass(x, codes);
-    maybe_export_codes(options, codes);
-    if (filters > 0) print_filters(model.layer(0).w(), filters);
-  } else {
-    throw util::Error("'" + path + "' has unknown checkpoint magic '" + magic +
-                      "'");
+  print_model_metrics(*model, dataset);
+
+  la::Matrix codes;
+  model->encode(x, codes);
+  double mean = 0;
+  for (la::Index i = 0; i < codes.size(); ++i) mean += codes.data()[i];
+  std::printf("codes: %lldd, mean activity %.4f\n",
+              static_cast<long long>(codes.cols()),
+              mean / static_cast<double>(codes.size()));
+  maybe_export_codes(options, codes);
+
+  const int filters = static_cast<int>(options.get_int("filters"));
+  if (filters > 0) {
+    if (const la::Matrix* w = first_layer_weights(*model))
+      print_filters(*w, filters);
+    else
+      std::printf("(model has no renderable first-layer filters)\n");
   }
 
   if (options.has("profile")) {
