@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "la/simd/dispatch.hpp"
 #include "util/error.hpp"
 #include "util/json_writer.hpp"
 
@@ -41,6 +42,9 @@ void write_json(const std::string& path) {
   w.begin_object();
   w.member("schema", "deepphi.bench.v1");
   w.member("bench", g_bench_title);
+  // The dispatch tier that real (non-simulated) kernel timings in this
+  // document ran on; per-tier tables additionally carry a tier column.
+  w.member("simd_tier", la::simd::tier_name(la::simd::active_tier()));
   w.key("tables");
   w.begin_array();
   for (const util::Table& table : g_tables) {

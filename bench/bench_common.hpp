@@ -9,6 +9,7 @@
 //   3. print the same rows/series the paper reports, plus optional CSV.
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 #include "core/cost_accounting.hpp"
@@ -17,6 +18,7 @@
 #include "phi/offload.hpp"
 #include "util/csv.hpp"
 #include "util/options.hpp"
+#include "util/timer.hpp"
 
 namespace deepphi::bench {
 
@@ -45,5 +47,20 @@ void emit(const util::Options& options, const util::Table& table);
 /// Declares the flags every bench shares (--csv, --json). Call before
 /// validate().
 void declare_common_flags(util::Options& options);
+
+/// Best-of-N wall-clock timing for the real (non-simulated) kernel benches:
+/// one untimed warm-up call (also sizes the packing arenas), then the
+/// minimum of `reps` timed calls.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
 
 }  // namespace deepphi::bench

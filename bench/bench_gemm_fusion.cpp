@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "la/elementwise.hpp"
 #include "la/gemm.hpp"
+#include "la/simd/dispatch.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -32,17 +33,7 @@ la::Vector random_vector(la::Index n, std::uint64_t seed) {
   return v;
 }
 
-template <typename Fn>
-double best_of(int reps, Fn&& fn) {
-  fn();  // warm-up (also sizes the packing arenas)
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    util::Timer t;
-    fn();
-    best = std::min(best, t.seconds());
-  }
-  return best;
-}
+using bench::best_of;
 
 }  // namespace
 
@@ -92,5 +83,33 @@ int main(int argc, char** argv) {
                    util::Table::cell(unfused / fused)});
   }
   bench::emit(options, table);
+
+  // Second table: the same fused forward pass pinned to each SIMD tier this
+  // CPU can run, with the scalar tier of the same shape as the baseline.
+  util::Table tier_table(
+      {"tier", "visible", "hidden", "fused_ms", "speedup_vs_scalar"});
+  for (const Shape& s : shapes) {
+    if (s.hidden > max_hidden) continue;
+    la::Matrix x = random_matrix(batch, s.visible, 1);
+    la::Matrix w = random_matrix(s.hidden, s.visible, 2);
+    la::Vector b = random_vector(s.hidden, 3);
+    la::Matrix y(batch, s.hidden);
+    double scalar_s = 0;  // scalar (tier 0) always runs first, so this is set
+    for (int t = 0; t < la::simd::kNumTiers; ++t) {
+      const auto tier = static_cast<la::simd::Tier>(t);
+      if (!la::simd::tier_available(tier)) continue;
+      la::simd::force_tier(tier);
+      const double fused = best_of(reps, [&] {
+        la::gemm_nt(1.0f, x, w, 0.0f, y, la::GemmEpilogue::bias_sigmoid(b));
+      });
+      la::simd::reset_tier();
+      if (tier == la::simd::Tier::kScalar) scalar_s = fused;
+      tier_table.add_row({la::simd::tier_name(tier), std::to_string(s.visible),
+                          std::to_string(s.hidden),
+                          util::Table::cell(fused * 1e3),
+                          util::Table::cell(scalar_s / fused)});
+    }
+  }
+  bench::emit(options, tier_table);
   return 0;
 }

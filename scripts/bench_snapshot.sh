@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# SIMD bench snapshot: builds the tree, runs the two real-wall-time kernel
+# benches (bench_micro_kernels, bench_gemm_fusion) with --json, merges their
+# per-tier tables into one deepphi.bench.v1 document, and validates it.
+# Leaves BENCH_simd.json at the repo root — the committed record of the
+# dispatched-vs-forced-scalar speedups on the machine that ran it.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="BENCH_simd.json"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_micro_kernels bench_gemm_fusion deepphi_json_check
+
+MICRO_JSON="$(mktemp)"
+FUSION_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$FUSION_JSON"' EXIT
+
+# Keep the google-benchmark section to the per-tier GEMM variants; the
+# hand-timed Fig. 7 tables are what lands in the JSON.
+"$BUILD_DIR/bench/bench_micro_kernels" \
+  --benchmark_filter='BM_GemmBlocked<' \
+  --batch=256 --reps=3 --max_hidden=4096 --json="$MICRO_JSON"
+"$BUILD_DIR/bench/bench_gemm_fusion" \
+  --batch=256 --reps=3 --max_hidden=4096 --json="$FUSION_JSON"
+
+# Each bench writes its own deepphi.bench.v1 document; concatenate their
+# tables into one document so the snapshot is a single valid file.
+jq -s '{schema: .[0].schema,
+        bench: "simd_snapshot",
+        simd_tier: .[0].simd_tier,
+        benches: [.[].bench],
+        tables: (map(.tables) | add)}' \
+  "$MICRO_JSON" "$FUSION_JSON" > "$OUT"
+
+"$BUILD_DIR/tools/deepphi_json_check" --require=schema --require=bench \
+  --require=tables --require=columns --require=rows \
+  --expect=deepphi.bench.v1 "$OUT"
+
+echo "snapshot written to $OUT"

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "la/simd/vec_ops.hpp"
 #include "phi/kernel_stats.hpp"
 #include "util/error.hpp"
 
@@ -13,7 +14,9 @@ using la::Index;
 using la::Matrix;
 using la::Vector;
 
-float sigmoid_scalar(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+// Shared library-wide sigmoid (la/simd/vec_ops.hpp) — keeps the loop-form
+// path bitwise consistent with the dispatched kernels.
+using la::simd::sigmoid_scalar;
 
 // out(B×n) = a(B×k) · bᵀ(n×k) — naive triple loop over the row-major
 // operands (the forward products x·W1ᵀ, y·W2ᵀ).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "la/blas2.hpp"
+#include "la/simd/vec_ops.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "phi/kernel_stats.hpp"
@@ -41,12 +42,12 @@ double OnlineSaeTrainer::step(const float* x) {
   y_.copy_from(model_.b1());
   la::gemv(1.0f, model_.w1(), xin, 1.0f, y_);
   phi::record(phi::loop_contribution(h, 8.0, 1.0, 1.0));
-  for (la::Index i = 0; i < h; ++i) y_[i] = 1.0f / (1.0f + std::exp(-y_[i]));
+  for (la::Index i = 0; i < h; ++i) y_[i] = la::simd::sigmoid_scalar(y_[i]);
 
   z_.copy_from(model_.b2());
   la::gemv(1.0f, model_.w2(), y_, 1.0f, z_);
   phi::record(phi::loop_contribution(v, 8.0, 1.0, 1.0));
-  for (la::Index j = 0; j < v; ++j) z_[j] = 1.0f / (1.0f + std::exp(-z_[j]));
+  for (la::Index j = 0; j < v; ++j) z_[j] = la::simd::sigmoid_scalar(z_[j]);
 
   // Running mean-activation estimate.
   phi::record(phi::loop_contribution(h, 4.0, 2.0, 1.0));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "la/simd/vec_ops.hpp"
 #include "phi/kernel_stats.hpp"
 #include "util/error.hpp"
 
@@ -13,7 +14,10 @@ using la::Index;
 using la::Matrix;
 using la::Vector;
 
-float sigmoid_scalar(float v) { return 1.0f / (1.0f + std::exp(-v)); }
+// The shared library-wide sigmoid: bitwise identical to the dispatched
+// vector kernels, so loop-form and matrix-form Bernoulli draws (u < mean)
+// can never disagree by a flipped sample.
+using la::simd::sigmoid_scalar;
 
 // out(B×h) = v(B×n) · wᵀ(h×n): the hidden pre-activation product.
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out, bool parallel) {

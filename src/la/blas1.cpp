@@ -1,7 +1,9 @@
 #include "la/blas1.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "la/simd/dispatch.hpp"
 #include "phi/kernel_stats.hpp"
 
 namespace deepphi::la {
@@ -10,9 +12,18 @@ namespace {
 // Below this element count the OpenMP fork/join costs more than it saves.
 constexpr Index kParallelThreshold = 1 << 15;
 
+// Parallel grain of the dispatched axpy (elementwise, so any split is
+// result-identical).
+constexpr Index kAxpyChunk = 1 << 14;
+
 void axpy_raw(float alpha, const float* x, float* y, Index n) {
-#pragma omp parallel for simd if (n >= kParallelThreshold) schedule(static)
-  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+  const simd::KernelTable& tab = simd::active();
+  const Index chunks = (n + kAxpyChunk - 1) / kAxpyChunk;
+#pragma omp parallel for if (n >= kParallelThreshold) schedule(static)
+  for (Index c = 0; c < chunks; ++c) {
+    const Index b = c * kAxpyChunk;
+    tab.axpy(alpha, x + b, y + b, std::min(kAxpyChunk, n - b));
+  }
 }
 
 void scal_raw(float alpha, float* x, Index n) {
@@ -20,10 +31,27 @@ void scal_raw(float alpha, float* x, Index n) {
   for (Index i = 0; i < n; ++i) x[i] *= alpha;
 }
 
+// Deterministic parallel dot: the array is cut into fixed-size chunks (the
+// size depends only on n, never on the thread count), each chunk is reduced
+// by the dispatched 8-lane dot8 — bit-identical on every tier — and the
+// partials are combined serially in chunk order. Same bits for any thread
+// count and any DEEPPHI_ISA tier.
+constexpr Index kMaxDotChunks = 256;
+
 double dot_raw(const float* x, const float* y, Index n) {
+  if (n == 0) return 0.0;
+  const simd::KernelTable& tab = simd::active();
+  const Index chunk = std::max<Index>(kParallelThreshold,
+                                      (n + kMaxDotChunks - 1) / kMaxDotChunks);
+  const Index chunks = (n + chunk - 1) / chunk;
+  double partials[kMaxDotChunks];
+#pragma omp parallel for if (chunks > 1) schedule(static)
+  for (Index c = 0; c < chunks; ++c) {
+    const Index b = c * chunk;
+    partials[c] = tab.dot8(x + b, y + b, std::min(chunk, n - b));
+  }
   double acc = 0.0;
-#pragma omp parallel for if (n >= kParallelThreshold) schedule(static) reduction(+ : acc)
-  for (Index i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
+  for (Index c = 0; c < chunks; ++c) acc += partials[c];
   return acc;
 }
 }  // namespace

@@ -17,6 +17,7 @@
 #include <cmath>
 
 #include "la/matrix.hpp"
+#include "la/simd/vec_ops.hpp"
 #include "util/rng.hpp"
 
 namespace deepphi::la {
@@ -70,7 +71,10 @@ void add_row_broadcast_vec(Matrix& m, const Vector& bias);
 /// base.split(r)) — Gaussian visible sampling.
 void add_gaussian_noise(Matrix& m, float sigma, const util::Rng& base);
 
-/// Scalar sigmoid used by tests and the loop-form baselines.
-inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+/// Scalar sigmoid used by tests and the loop-form baselines. Forwards to the
+/// one shared implementation (la/simd/vec_ops.hpp) so every float sigmoid in
+/// the library — fused GEMM epilogues, dispatched elementwise kernels,
+/// loop-form paths — computes the same bits.
+inline float sigmoidf(float x) { return simd::sigmoid_scalar(x); }
 
 }  // namespace deepphi::la

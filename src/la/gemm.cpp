@@ -8,6 +8,8 @@
 #endif
 
 #include "la/pack_arena.hpp"
+#include "la/simd/dispatch.hpp"
+#include "la/simd/vec_ops.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "phi/kernel_stats.hpp"
@@ -16,8 +18,8 @@ namespace deepphi::la {
 
 namespace {
 
-constexpr Index MR = 4;
-constexpr Index NR = 16;
+constexpr Index MR = simd::kMR;
+constexpr Index NR = simd::kNR;
 
 // op(M)(i, j) under the trans flag. Only used in packing; the micro-kernel
 // reads packed panels.
@@ -61,79 +63,23 @@ void pack_b(const Matrix& b, Trans tb, Index pc, Index jc, Index kc, Index nc,
   }
 }
 
-inline float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
-
-// C[r0 : r0+mr_eff, c0 : c0+nr_eff] gets alpha · (A panel · B panel) merged
-// in at write-back. Panels are zero-padded so the accumulation loop is always
-// full MR×NR; clipping happens only at write-back. `first_k` folds the beta
-// scaling of C into the first k-panel (beta == 0 never reads C, so
-// uninitialized output buffers are safe); `last_k` applies the fused epilogue
-// while the tile is still cache-hot. The epilogue op is a template parameter
-// so each variant gets dedicated codegen and the kNone accumulation path pays
-// nothing for the fusion machinery.
-template <EpilogueOp OP>
-void micro_kernel(const float* ap, const float* bp, Index kc, float alpha,
-                  float beta, bool first_k, bool last_k,
-                  const GemmEpilogue& ep, Matrix& c, Index r0, Index c0,
-                  Index mr_eff, Index nr_eff) {
-  float acc[MR][NR] = {};
-  for (Index kk = 0; kk < kc; ++kk) {
-    const float* arow = ap + kk * MR;
-    const float* brow = bp + kk * NR;
-    for (Index i = 0; i < MR; ++i) {
-      const float av = arow[i];
-#pragma omp simd
-      for (Index j = 0; j < NR; ++j) acc[i][j] += av * brow[j];
-    }
-  }
-  const float* bias = nullptr;
-  if constexpr (OP == EpilogueOp::kBiasAdd || OP == EpilogueOp::kBiasSigmoid ||
-                OP == EpilogueOp::kBiasDsigmoidMul) {
-    bias = ep.bias->data() + c0;
-  }
-  for (Index i = 0; i < mr_eff; ++i) {
-    float* crow = c.row(r0 + i) + c0;
-    float vals[NR];
-    if (first_k) {
-      if (beta == 0.0f) {
-        for (Index j = 0; j < nr_eff; ++j) vals[j] = alpha * acc[i][j];
-      } else {
-        for (Index j = 0; j < nr_eff; ++j)
-          vals[j] = beta * crow[j] + alpha * acc[i][j];
-      }
-    } else {
-      for (Index j = 0; j < nr_eff; ++j) vals[j] = crow[j] + alpha * acc[i][j];
-    }
-    if (last_k) {
-      if constexpr (OP == EpilogueOp::kBiasAdd) {
-        for (Index j = 0; j < nr_eff; ++j) vals[j] += bias[j];
-      } else if constexpr (OP == EpilogueOp::kBiasSigmoid) {
-        for (Index j = 0; j < nr_eff; ++j)
-          vals[j] = sigmoid_scalar(vals[j] + bias[j]);
-      } else if constexpr (OP == EpilogueOp::kDsigmoidMul) {
-        const float* arow_ = ep.act->row(r0 + i) + c0;
-        for (Index j = 0; j < nr_eff; ++j)
-          vals[j] *= arow_[j] * (1.0f - arow_[j]);
-      } else if constexpr (OP == EpilogueOp::kBiasDsigmoidMul) {
-        const float* arow_ = ep.act->row(r0 + i) + c0;
-        for (Index j = 0; j < nr_eff; ++j)
-          vals[j] = (vals[j] + bias[j]) * arow_[j] * (1.0f - arow_[j]);
-      }
-    }
-    for (Index j = 0; j < nr_eff; ++j) crow[j] = vals[j];
-  }
-}
-
 // Serial blocked GEMM over the C tile [row_begin, row_end) × [col_begin,
 // col_end). `a_buf` and `b_buf` are caller-provided packing buffers sized for
 // the blocking. Beta is folded into the first k-panel's write-back and the
 // epilogue into the last one's, so the tile is touched exactly once per
-// k-panel and never in a separate elementwise pass.
-template <EpilogueOp OP>
+// k-panel and never in a separate elementwise pass. The MR×NR micro-kernel
+// itself lives in the dispatch layer (src/la/simd/), one explicit-intrinsics
+// instantiation per ISA tier and EpilogueOp; `micro` is the bound function
+// pointer for this call's epilogue.
 void gemm_tile(Trans ta, Trans tb, float alpha, float beta, const Matrix& a,
                const Matrix& b, Matrix& c, Index row_begin, Index row_end,
                Index col_begin, Index col_end, Index k, const GemmBlocking& bl,
-               float* a_buf, float* b_buf, const GemmEpilogue& ep) {
+               float* a_buf, float* b_buf, const GemmEpilogue& ep,
+               simd::KernelTable::GemmMicroFn micro) {
+  const float* bias_base = ep.bias != nullptr ? ep.bias->data() : nullptr;
+  const Matrix* act = ep.act;
+  const Index act_ld = act != nullptr ? act->cols() : 0;
+  const Index ldc = c.cols();
   for (Index jc = col_begin; jc < col_end; jc += bl.nc) {
     const Index nc_eff = std::min(bl.nc, col_end - jc);
     for (Index pc = 0; pc < k; pc += bl.kc) {
@@ -146,11 +92,21 @@ void gemm_tile(Trans ta, Trans tb, float alpha, float beta, const Matrix& a,
         pack_a(a, ta, ic, pc, mc_eff, kc_eff, a_buf);
         for (Index jr = 0; jr < nc_eff; jr += NR) {
           const float* bp = b_buf + (jr / NR) * kc_eff * NR;
+#ifndef NDEBUG
+          // B-panel rows feed the aligned vector loads; each panel starts a
+          // kc_eff·NR·4 = 64·kc_eff byte multiple past the aligned base.
+          simd::check_panel_alignment(b_buf, bp);
+#endif
+          const Index c0 = jc + jr;
+          const float* bias = bias_base != nullptr ? bias_base + c0 : nullptr;
           for (Index ir = 0; ir < mc_eff; ir += MR) {
             const float* ap = a_buf + (ir / MR) * kc_eff * MR;
-            micro_kernel<OP>(ap, bp, kc_eff, alpha, beta, first_k, last_k, ep,
-                             c, ic + ir, jc + jr, std::min(MR, mc_eff - ir),
-                             std::min(NR, nc_eff - jr));
+            const Index r0 = ic + ir;
+            const float* act_p =
+                act != nullptr ? act->data() + r0 * act_ld + c0 : nullptr;
+            micro(ap, bp, kc_eff, alpha, beta, first_k, last_k, bias, act_p,
+                  act_ld, c.row(r0) + c0, ldc, std::min(MR, mc_eff - ir),
+                  std::min(NR, nc_eff - jr));
           }
         }
       }
@@ -178,7 +134,7 @@ void apply_beta_epilogue(Matrix& c, float beta, const GemmEpilogue& ep) {
           v += bias[j];
           break;
         case EpilogueOp::kBiasSigmoid:
-          v = sigmoid_scalar(v + bias[j]);
+          v = simd::sigmoid_scalar(v + bias[j]);
           break;
         case EpilogueOp::kDsigmoidMul:
           v *= arow[j] * (1.0f - arow[j]);
@@ -252,11 +208,14 @@ void record_beta_epilogue_pass(const GemmEpilogue& ep, float beta, Index m,
   phi::record(s);
 }
 
-// Grid decomposition + parallel tile loop, instantiated per epilogue op.
-template <EpilogueOp OP>
+// Grid decomposition + parallel tile loop. The per-epilogue codegen now
+// lives behind the dispatched micro-kernel pointer, selected once per call.
 void run_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
                  const Matrix& b, float beta, Matrix& c, const GemmBlocking& bl,
                  const GemmEpilogue& ep, Index m, Index n, Index k) {
+  const simd::KernelTable& tab = simd::active();
+  const simd::KernelTable::GemmMicroFn micro =
+      tab.gemm_micro[static_cast<int>(ep.op)];
   // 2-D (ic, jc) tile grid over C. Tiles start at the cache-blocking size and
   // are split — at register-tile granularity, preferring the dimension with
   // more room — until the grid covers the thread count, so skinny products
@@ -305,6 +264,10 @@ void run_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
       float* buf = pack_arena(arena_elems);
       float* a_buf = buf;
       float* b_buf = buf + a_span;
+      // Both panels sit on 64-byte boundaries (arena base + a_span, a
+      // multiple of 16 floats) — the aligned-load contract of the vector
+      // micro-kernels.
+      simd::check_panel_alignment(a_buf, b_buf);
       for (Index t = tid; t < tiles; t += nthreads) {
         const Index tr = t / grid_n;
         const Index tc = t % grid_n;
@@ -312,8 +275,8 @@ void run_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
         const Index row_end = std::min(row_begin + tile_m, m);
         const Index col_begin = tc * tile_n;
         const Index col_end = std::min(col_begin + tile_n, n);
-        gemm_tile<OP>(trans_a, trans_b, alpha, beta, a, b, c, row_begin,
-                      row_end, col_begin, col_end, k, bl, a_buf, b_buf, ep);
+        gemm_tile(trans_a, trans_b, alpha, beta, a, b, c, row_begin, row_end,
+                  col_begin, col_end, k, bl, a_buf, b_buf, ep, micro);
       }
     }
   }
@@ -358,28 +321,7 @@ void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,
   }
 
   record_epilogue(ep, m, n);
-  switch (ep.op) {
-    case EpilogueOp::kNone:
-      run_blocked<EpilogueOp::kNone>(trans_a, trans_b, alpha, a, b, beta, c,
-                                     bl, ep, m, n, ka);
-      return;
-    case EpilogueOp::kBiasAdd:
-      run_blocked<EpilogueOp::kBiasAdd>(trans_a, trans_b, alpha, a, b, beta, c,
-                                        bl, ep, m, n, ka);
-      return;
-    case EpilogueOp::kBiasSigmoid:
-      run_blocked<EpilogueOp::kBiasSigmoid>(trans_a, trans_b, alpha, a, b,
-                                            beta, c, bl, ep, m, n, ka);
-      return;
-    case EpilogueOp::kDsigmoidMul:
-      run_blocked<EpilogueOp::kDsigmoidMul>(trans_a, trans_b, alpha, a, b,
-                                            beta, c, bl, ep, m, n, ka);
-      return;
-    case EpilogueOp::kBiasDsigmoidMul:
-      run_blocked<EpilogueOp::kBiasDsigmoidMul>(trans_a, trans_b, alpha, a, b,
-                                                beta, c, bl, ep, m, n, ka);
-      return;
-  }
+  run_blocked(trans_a, trans_b, alpha, a, b, beta, c, bl, ep, m, n, ka);
 }
 
 void gemm_blocked(Trans trans_a, Trans trans_b, float alpha, const Matrix& a,

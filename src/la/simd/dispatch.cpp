@@ -1,0 +1,147 @@
+#include "la/simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "la/gemm.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace deepphi::la::simd {
+
+// The gemm_micro table is indexed with static_cast<int>(EpilogueOp); pin the
+// correspondence here so a reordering of the enum cannot silently re-route
+// epilogues.
+static_assert(static_cast<int>(EpilogueOp::kNone) == 0);
+static_assert(static_cast<int>(EpilogueOp::kBiasAdd) == 1);
+static_assert(static_cast<int>(EpilogueOp::kBiasSigmoid) == 2);
+static_assert(static_cast<int>(EpilogueOp::kDsigmoidMul) == 3);
+static_assert(static_cast<int>(EpilogueOp::kBiasDsigmoidMul) == 4);
+
+namespace {
+
+const KernelTable* table_for(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return scalar_table();
+    case Tier::kAvx2:
+      return avx2_table();
+    case Tier::kAvx512:
+      return avx512_table();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Tier t) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Tier::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return t == Tier::kScalar;
+#endif
+}
+
+// Resolves the startup tier: widest runnable one, then the DEEPPHI_ISA
+// override if it names a runnable tier (unknown or unavailable names warn
+// and keep the detected tier).
+Tier initial_tier() {
+  Tier best = best_available_tier();
+  const char* env = std::getenv("DEEPPHI_ISA");
+  if (env != nullptr && *env != '\0') {
+    Tier want;
+    if (!parse_tier(env, want)) {
+      DEEPPHI_WARN() << "DEEPPHI_ISA=" << env
+                     << " is not scalar|avx2|avx512; using "
+                     << tier_name(best);
+    } else if (!tier_available(want)) {
+      DEEPPHI_WARN() << "DEEPPHI_ISA=" << env
+                     << " not available on this CPU/build; using "
+                     << tier_name(best);
+    } else {
+      return want;
+    }
+  }
+  return best;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool parse_tier(const std::string& name, Tier& out) {
+  if (name == "scalar") {
+    out = Tier::kScalar;
+  } else if (name == "avx2") {
+    out = Tier::kAvx2;
+  } else if (name == "avx512") {
+    out = Tier::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool tier_available(Tier t) {
+  return cpu_supports(t) && table_for(t) != nullptr;
+}
+
+Tier best_available_tier() {
+  if (tier_available(Tier::kAvx512)) return Tier::kAvx512;
+  if (tier_available(Tier::kAvx2)) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+const KernelTable& active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    const KernelTable* resolved = table_for(initial_tier());
+    // First resolver wins; a concurrent first call gets the same table
+    // anyway since initial_tier() is deterministic.
+    g_active.compare_exchange_strong(t, resolved, std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+    if (t == nullptr) t = resolved;
+  }
+  return *t;
+}
+
+Tier active_tier() { return active().tier; }
+
+bool force_tier(Tier t) {
+  if (!tier_available(t)) return false;
+  g_active.store(table_for(t), std::memory_order_release);
+  return true;
+}
+
+void reset_tier() {
+  g_active.store(table_for(initial_tier()), std::memory_order_release);
+}
+
+void check_panel_alignment(const void* a_panel, const void* b_panel) {
+  const auto a = reinterpret_cast<std::uintptr_t>(a_panel);
+  const auto b = reinterpret_cast<std::uintptr_t>(b_panel);
+  DEEPPHI_CHECK_MSG((a % 64) == 0 && (b % 64) == 0,
+                    "packed GEMM panels must be 64-byte aligned (a="
+                        << a_panel << ", b=" << b_panel
+                        << ") — the per-ISA micro-kernels use aligned loads");
+}
+
+}  // namespace deepphi::la::simd

@@ -1,0 +1,54 @@
+// AVX-512F dispatch tier. This translation unit alone is compiled with
+// -mavx512f (which pulls in AVX2/FMA as prerequisites) plus
+// -ffp-contract=off; everything vector goes through the Avx512Ops policy.
+// Without the flags (non-x86 host) the getter returns nullptr and the
+// dispatcher skips the tier.
+
+#include "la/simd/kernels_body.inl"
+
+namespace deepphi::la::simd {
+
+#if defined(__AVX512F__)
+
+namespace {
+
+// dot8 with the 8 double lanes in a single 512-bit accumulator. Exact
+// products make the fma bit-identical to dot8_ref's mul+add; the masked
+// tail adds +0.0, a no-op (see dot8_ref).
+double dot8_avx512(const float* x, const float* y, std::int64_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_fmadd_pd(_mm512_cvtps_pd(_mm256_loadu_ps(x + i)),
+                          _mm512_cvtps_pd(_mm256_loadu_ps(y + i)), acc);
+  }
+  if (i < n) {
+    // Tail via a 512-bit masked load (only F-level masking exists in this
+    // TU); the low 8 floats carry the <=7 live lanes plus zeros.
+    const __mmask16 m = Avx512Ops::tail_mask(static_cast<int>(n - i));
+    const __m256 xv =
+        _mm512_castps512_ps256(_mm512_maskz_loadu_ps(m, x + i));
+    const __m256 yv =
+        _mm512_castps512_ps256(_mm512_maskz_loadu_ps(m, y + i));
+    acc = _mm512_fmadd_pd(_mm512_cvtps_pd(xv), _mm512_cvtps_pd(yv), acc);
+  }
+  double lanes8[8];
+  _mm512_storeu_pd(lanes8, acc);
+  return combine8(lanes8);
+}
+
+}  // namespace
+
+const KernelTable* avx512_table() {
+  static const KernelTable table =
+      make_table<Avx512Ops>(Tier::kAvx512, &dot8_avx512);
+  return &table;
+}
+
+#else  // compiler has no AVX-512F for this TU
+
+const KernelTable* avx512_table() { return nullptr; }
+
+#endif
+
+}  // namespace deepphi::la::simd

@@ -1,0 +1,248 @@
+// Generic kernel bodies shared by every dispatch tier. Each per-ISA
+// translation unit (kernels_scalar.cpp / kernels_avx2.cpp /
+// kernels_avx512.cpp) includes this file and instantiates make_table<Ops>
+// with its vector-ops policy, so all tiers run the exact same operation
+// sequence — the basis of the bitwise cross-tier parity contract described
+// in dispatch.hpp. Keep every computation expressed through the policy (no
+// raw float arithmetic on values that reach memory).
+//
+// Not a standalone header: include after vec_ops.hpp/dispatch.hpp, inside
+// nothing (it opens its own namespace).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "la/simd/dispatch.hpp"
+#include "la/simd/vec_ops.hpp"
+
+namespace deepphi::la::simd {
+namespace {
+
+using std::int64_t;
+
+// Epilogue selector; values mirror la::EpilogueOp (dispatch.cpp
+// static_asserts the correspondence at the enum definition site).
+inline constexpr int kOpNone = 0;
+inline constexpr int kOpBiasAdd = 1;
+inline constexpr int kOpBiasSigmoid = 2;
+inline constexpr int kOpDsigmoidMul = 3;
+inline constexpr int kOpBiasDsigmoidMul = 4;
+
+// Full-width load/store when all W lanes are in range, masked otherwise.
+// Active lanes see identical arithmetic either way.
+template <class O>
+inline typename O::V load_clip(const float* p, int lanes) {
+  return lanes == O::W ? O::loadu(p) : O::loadu_partial(p, lanes);
+}
+template <class O>
+inline void store_clip(float* p, int lanes, typename O::V v) {
+  if (lanes == O::W) {
+    O::storeu(p, v);
+  } else {
+    O::storeu_partial(p, lanes, v);
+  }
+}
+
+/// y ⊙ (1 − y) — the sigmoid derivative through the activation.
+template <class O>
+inline typename O::V dsig(typename O::V y) {
+  return O::mul(y, O::sub(O::set1(1.0f), y));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM micro-kernel: MR×NR register tile over packed panels, beta folded
+// into the first k-panel, epilogue fused into the last. Same semantics as
+// the pre-dispatch template in gemm.cpp, with masked write-back replacing
+// the scalar mr_eff/nr_eff fringe loops.
+// ---------------------------------------------------------------------------
+template <class O, int OP>
+void gemm_micro(const float* ap, const float* bp, int64_t kc, float alpha,
+                float beta, bool first_k, bool last_k, const float* bias,
+                const float* act, int64_t act_ld, float* c, int64_t ldc,
+                int64_t mr_eff, int64_t nr_eff) {
+  using V = typename O::V;
+  constexpr int W = O::W;
+  constexpr int NB = static_cast<int>(kNR) / W;
+
+  // Panels are zero-padded, so accumulation is always the full MR×NR tile.
+  V acc[kMR][NB];
+  for (int i = 0; i < kMR; ++i)
+    for (int jb = 0; jb < NB; ++jb) acc[i][jb] = O::zero();
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * kMR;
+    const float* brow = bp + kk * kNR;  // 64-byte aligned row (kNR floats)
+    V bv[NB];
+    for (int jb = 0; jb < NB; ++jb) bv[jb] = O::load(brow + jb * W);
+    for (int i = 0; i < kMR; ++i) {
+      const V av = O::set1(arow[i]);
+      for (int jb = 0; jb < NB; ++jb)
+        acc[i][jb] = O::fma(av, bv[jb], acc[i][jb]);
+    }
+  }
+
+  const V alpha_v = O::set1(alpha);
+  const V beta_v = O::set1(beta);
+  for (int64_t i = 0; i < mr_eff; ++i) {
+    float* crow = c + i * ldc;
+    const float* actrow =
+        (OP == kOpDsigmoidMul || OP == kOpBiasDsigmoidMul) ? act + i * act_ld
+                                                           : nullptr;
+    for (int jb = 0; jb < NB; ++jb) {
+      const int64_t j0 = static_cast<int64_t>(jb) * W;
+      if (j0 >= nr_eff) break;
+      const int lanes = static_cast<int>(std::min<int64_t>(W, nr_eff - j0));
+      V v;
+      if (first_k) {
+        if (beta == 0.0f) {
+          v = O::mul(alpha_v, acc[i][jb]);
+        } else {
+          const V cv = load_clip<O>(crow + j0, lanes);
+          v = O::fma(beta_v, cv, O::mul(alpha_v, acc[i][jb]));
+        }
+      } else {
+        const V cv = load_clip<O>(crow + j0, lanes);
+        v = O::fma(alpha_v, acc[i][jb], cv);
+      }
+      if (last_k) {
+        if constexpr (OP == kOpBiasAdd) {
+          v = O::add(v, load_clip<O>(bias + j0, lanes));
+        } else if constexpr (OP == kOpBiasSigmoid) {
+          v = sigmoid_ps<O>(O::add(v, load_clip<O>(bias + j0, lanes)));
+        } else if constexpr (OP == kOpDsigmoidMul) {
+          v = O::mul(v, dsig<O>(load_clip<O>(actrow + j0, lanes)));
+        } else if constexpr (OP == kOpBiasDsigmoidMul) {
+          v = O::mul(O::add(v, load_clip<O>(bias + j0, lanes)),
+                     dsig<O>(load_clip<O>(actrow + j0, lanes)));
+        }
+      }
+      store_clip<O>(crow + j0, lanes, v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise / sampling kernels over one contiguous run. Parallel chunking
+// lives in the la:: wrappers; these bodies are single-threaded and
+// chunking-invariant (strictly elementwise).
+// ---------------------------------------------------------------------------
+
+template <class O>
+void sigmoid_k(float* p, int64_t n) {
+  constexpr int W = O::W;
+  for (int64_t j = 0; j < n; j += W) {
+    const int lanes = static_cast<int>(std::min<int64_t>(W, n - j));
+    store_clip<O>(p + j, lanes, sigmoid_ps<O>(load_clip<O>(p + j, lanes)));
+  }
+}
+
+template <class O>
+void bias_sigmoid_k(float* row, const float* bias, int64_t n) {
+  constexpr int W = O::W;
+  for (int64_t j = 0; j < n; j += W) {
+    const int lanes = static_cast<int>(std::min<int64_t>(W, n - j));
+    const typename O::V pre =
+        O::add(load_clip<O>(row + j, lanes), load_clip<O>(bias + j, lanes));
+    store_clip<O>(row + j, lanes, sigmoid_ps<O>(pre));
+  }
+}
+
+template <class O>
+void bias_sigmoid_sample_k(float* row, const float* bias, float* sample,
+                           const float* u, int64_t n) {
+  using V = typename O::V;
+  constexpr int W = O::W;
+  const V one = O::set1(1.0f);
+  const V zero = O::zero();
+  for (int64_t j = 0; j < n; j += W) {
+    const int lanes = static_cast<int>(std::min<int64_t>(W, n - j));
+    const V pre =
+        O::add(load_clip<O>(row + j, lanes), load_clip<O>(bias + j, lanes));
+    const V mean = sigmoid_ps<O>(pre);
+    store_clip<O>(row + j, lanes, mean);
+    const typename O::M hit = O::lt(load_clip<O>(u + j, lanes), mean);
+    store_clip<O>(sample + j, lanes, O::select(hit, one, zero));
+  }
+}
+
+template <class O>
+void bernoulli_compare_k(const float* mean, const float* u, float* out,
+                         int64_t n) {
+  using V = typename O::V;
+  constexpr int W = O::W;
+  const V one = O::set1(1.0f);
+  const V zero = O::zero();
+  for (int64_t j = 0; j < n; j += W) {
+    const int lanes = static_cast<int>(std::min<int64_t>(W, n - j));
+    const typename O::M hit =
+        O::lt(load_clip<O>(u + j, lanes), load_clip<O>(mean + j, lanes));
+    store_clip<O>(out + j, lanes, O::select(hit, one, zero));
+  }
+}
+
+template <class O>
+void dsigmoid_mul_k(float* d, const float* y, int64_t n) {
+  constexpr int W = O::W;
+  for (int64_t j = 0; j < n; j += W) {
+    const int lanes = static_cast<int>(std::min<int64_t>(W, n - j));
+    const typename O::V v = O::mul(load_clip<O>(d + j, lanes),
+                                   dsig<O>(load_clip<O>(y + j, lanes)));
+    store_clip<O>(d + j, lanes, v);
+  }
+}
+
+template <class O>
+void axpy_k(float alpha, const float* x, float* y, int64_t n) {
+  constexpr int W = O::W;
+  const typename O::V av = O::set1(alpha);
+  for (int64_t j = 0; j < n; j += W) {
+    const int lanes = static_cast<int>(std::min<int64_t>(W, n - j));
+    const typename O::V v =
+        O::fma(av, load_clip<O>(x + j, lanes), load_clip<O>(y + j, lanes));
+    store_clip<O>(y + j, lanes, v);
+  }
+}
+
+// Reference dot8 (also the scalar tier's entry): element i accumulates into
+// double lane i % 8. float→double conversion and the float×float product in
+// double are both exact, so the per-lane sums the vector tiers compute with
+// fma are bit-identical (fma of an exact product ≡ mul+add). Masked-off
+// lanes in the vector tails add +0.0, which is a bitwise no-op because lane
+// sums can never be -0.0 (they start at +0.0 and RN addition only yields
+// -0.0 from two -0.0 terms).
+inline double dot8_ref(const float* x, const float* y, int64_t n) {
+  double lanes[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (int64_t i = 0; i < n; ++i)
+    lanes[i & 7] +=
+        static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+/// The fixed pairwise combine every tier's dot8 ends with.
+inline double combine8(const double lanes[8]) {
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+template <class Ops>
+KernelTable make_table(Tier tier, double (*dot8)(const float*, const float*,
+                                                 int64_t)) {
+  KernelTable t;
+  t.tier = tier;
+  t.gemm_micro[kOpNone] = &gemm_micro<Ops, kOpNone>;
+  t.gemm_micro[kOpBiasAdd] = &gemm_micro<Ops, kOpBiasAdd>;
+  t.gemm_micro[kOpBiasSigmoid] = &gemm_micro<Ops, kOpBiasSigmoid>;
+  t.gemm_micro[kOpDsigmoidMul] = &gemm_micro<Ops, kOpDsigmoidMul>;
+  t.gemm_micro[kOpBiasDsigmoidMul] = &gemm_micro<Ops, kOpBiasDsigmoidMul>;
+  t.sigmoid = &sigmoid_k<Ops>;
+  t.bias_sigmoid = &bias_sigmoid_k<Ops>;
+  t.bias_sigmoid_sample = &bias_sigmoid_sample_k<Ops>;
+  t.bernoulli_compare = &bernoulli_compare_k<Ops>;
+  t.dsigmoid_mul = &dsigmoid_mul_k<Ops>;
+  t.axpy = &axpy_k<Ops>;
+  t.dot8 = dot8;
+  return t;
+}
+
+}  // namespace
+}  // namespace deepphi::la::simd

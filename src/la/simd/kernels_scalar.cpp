@@ -1,0 +1,15 @@
+// Scalar dispatch tier: the generic kernel bodies instantiated over
+// ScalarOps. Compiled with the library's baseline flags (no -m options), so
+// it runs anywhere; it is also the numerical reference the vector tiers must
+// match bitwise (see dispatch.hpp).
+
+#include "la/simd/kernels_body.inl"
+
+namespace deepphi::la::simd {
+
+const KernelTable* scalar_table() {
+  static const KernelTable table = make_table<ScalarOps>(Tier::kScalar, &dot8_ref);
+  return &table;
+}
+
+}  // namespace deepphi::la::simd

@@ -32,6 +32,7 @@
 #include "core/model_io.hpp"
 #include "data/binary_io.hpp"
 #include "data/idx_io.hpp"
+#include "la/simd/dispatch.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/inference_server.hpp"
@@ -184,6 +185,8 @@ int run(int argc, char** argv) {
     telemetry->emit_run_header(
         "deepphi_serve",
         {TelemetryField::str("model", model->describe()),
+         TelemetryField::str("simd_tier",
+                             la::simd::tier_name(la::simd::active_tier())),
          TelemetryField::integer("requests",
                                  static_cast<std::int64_t>(schedule.size())),
          TelemetryField::num("rate", options.get_double("rate")),

@@ -27,6 +27,7 @@
 #include "data/binary_io.hpp"
 #include "data/idx_io.hpp"
 #include "data/patches.hpp"
+#include "la/simd/dispatch.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "util/logging.hpp"
@@ -161,6 +162,8 @@ int run(int argc, char** argv) {
     telemetry->emit_run_header(
         "deepphi_train",
         {TelemetryField::str("model", model_kind),
+         TelemetryField::str("simd_tier",
+                             la::simd::tier_name(la::simd::active_tier())),
          TelemetryField::integer("host_threads",
                                  std::thread::hardware_concurrency()),
          TelemetryField::integer("examples",
