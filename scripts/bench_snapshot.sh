@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# SIMD bench snapshot: builds the tree, runs the two real-wall-time kernel
-# benches (bench_micro_kernels, bench_gemm_fusion) with --json, merges their
-# per-tier tables into one deepphi.bench.v1 document, and validates it.
-# Leaves BENCH_simd.json at the repo root — the committed record of the
-# dispatched-vs-forced-scalar speedups on the machine that ran it.
+# Bench snapshots: builds the tree and leaves two committed JSON records at
+# the repo root, both validated against deepphi.bench.v1.
+#
+#  - BENCH_simd.json: the two real-wall-time kernel benches
+#    (bench_micro_kernels, bench_gemm_fusion) with --json, merged into one
+#    document — the dispatched-vs-forced-scalar speedups on this machine.
+#  - BENCH_data_parallel.json: bench_data_parallel --json — the simulated
+#    replica-sweep step-throughput tables (Fig. 9 batch range) plus the real
+#    host wall-clock table of DataParallelTrainer on this machine.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -11,10 +15,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT="BENCH_simd.json"
+DP_OUT="BENCH_data_parallel.json"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_micro_kernels bench_gemm_fusion deepphi_json_check
+  --target bench_micro_kernels bench_gemm_fusion bench_data_parallel \
+  deepphi_json_check
 
 MICRO_JSON="$(mktemp)"
 FUSION_JSON="$(mktemp)"
@@ -41,4 +47,11 @@ jq -s '{schema: .[0].schema,
   --require=tables --require=columns --require=rows \
   --expect=deepphi.bench.v1 "$OUT"
 
-echo "snapshot written to $OUT"
+# Data-parallel replica sweep: one bench, one document — no merge needed.
+"$BUILD_DIR/bench/bench_data_parallel" --model=both --json="$DP_OUT"
+
+"$BUILD_DIR/tools/deepphi_json_check" --require=schema --require=bench \
+  --require=tables --require=columns --require=rows --require=speedup \
+  --expect=deepphi.bench.v1 "$DP_OUT"
+
+echo "snapshots written to $OUT and $DP_OUT"

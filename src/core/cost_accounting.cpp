@@ -1,5 +1,6 @@
 #include "core/cost_accounting.hpp"
 
+#include "data/chunk_stream.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::core {
@@ -348,6 +349,121 @@ phi::KernelStats rbm_train_stats(const TrainShape& run, const RbmShape& shape,
   });
   k.h2d_bytes *= static_cast<double>(shape.visible);
   return k;
+}
+
+phi::KernelStats sae_gradient_stats(const SaeShape& shape, OptLevel level) {
+  DEEPPHI_CHECK_MSG(is_matrix_form(level),
+                    "per-slot gradient stats are matrix-form only");
+  return sae_matrix_gradient(shape, is_fused(level));
+}
+
+phi::KernelStats rbm_gradient_stats(const RbmShape& shape, OptLevel level) {
+  DEEPPHI_CHECK_MSG(is_matrix_form(level),
+                    "per-slot gradient stats are matrix-form only");
+  return rbm_matrix_gradient(shape, is_fused(level));
+}
+
+phi::KernelStats optimizer_update_stats(la::Index n, OptimizerKind kind) {
+  return optimizer_update(n, kind);
+}
+
+phi::KernelStats dp_combine_stats(const std::vector<la::Index>& buffer_sizes,
+                                  int live_slots) {
+  DEEPPHI_CHECK_MSG(live_slots >= 1, "live_slots must be >= 1");
+  KernelStats k;
+  if (live_slots == 1) return k;
+  for (const la::Index n : buffer_sizes) {
+    for (int edge = 0; edge < live_slots - 1; ++edge)
+      k += loop_contribution(n, 2.0, 2.0, 1.0);  // tree axpy
+    k += loop_contribution(n, 1.0, 1.0, 1.0);    // mean scal
+  }
+  return k;
+}
+
+namespace {
+
+// Replays DataParallelTrainer's chunk / group / shard structure: per chunk
+// one h2d transfer, per group of up to S·batch rows one gradient per live
+// slot (shard sizes from data::shard_rows, exactly as the trainer computes
+// them), the tree combine, and one optimizer update over `buffers`.
+template <typename GradFn>
+KernelStats dp_train_stats_impl(const TrainShape& run,
+                                const DataParallelShape& dp,
+                                const std::vector<la::Index>& buffers,
+                                OptimizerKind opt, GradFn&& slot_gradient) {
+  DEEPPHI_CHECK_MSG(
+      run.examples >= 1 && run.batch >= 1 && run.chunk >= run.batch,
+      "bad TrainShape");
+  const int S = dp.slots();
+  DEEPPHI_CHECK_MSG(dp.replicas >= 1 && dp.accumulation_steps >= 1,
+                    "bad DataParallelShape");
+  const la::Index group_capacity = static_cast<la::Index>(S) * run.batch;
+  KernelStats k;
+  for (int epoch = 0; epoch < run.epochs; ++epoch) {
+    for (la::Index begin = 0; begin < run.examples; begin += run.chunk) {
+      const la::Index chunk_rows = std::min(run.chunk, run.examples - begin);
+      k += phi::h2d_contribution(4.0 * static_cast<double>(chunk_rows) *
+                                 1.0);  // dim factored in by caller
+      for (la::Index b0 = 0; b0 < chunk_rows; b0 += group_capacity) {
+        const la::Index rows = std::min(group_capacity, chunk_rows - b0);
+        const std::vector<data::RowShard> shards = data::shard_rows(rows, S);
+        int live = 0;
+        for (const data::RowShard& shard : shards)
+          if (shard.rows > 0) {
+            k += slot_gradient(shard.rows);
+            ++live;
+          }
+        k += dp_combine_stats(buffers, live);
+        for (const la::Index n : buffers) k += optimizer_update(n, opt);
+      }
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+phi::KernelStats sae_dp_train_stats(const TrainShape& run,
+                                    const SaeShape& shape,
+                                    const DataParallelShape& dp, OptLevel level,
+                                    OptimizerKind opt) {
+  const la::Index v = shape.visible, h = shape.hidden;
+  KernelStats k = dp_train_stats_impl(
+      run, dp, {h * v, h, v * h, v}, opt, [&](la::Index rows) {
+        SaeShape s = shape;
+        s.batch = rows;
+        return sae_gradient_stats(s, level);
+      });
+  k.h2d_bytes *= static_cast<double>(shape.visible);
+  return k;
+}
+
+phi::KernelStats rbm_dp_train_stats(const TrainShape& run,
+                                    const RbmShape& shape,
+                                    const DataParallelShape& dp, OptLevel level,
+                                    OptimizerKind opt) {
+  const la::Index v = shape.visible, h = shape.hidden;
+  KernelStats k = dp_train_stats_impl(
+      run, dp, {h * v, v, h}, opt, [&](la::Index rows) {
+        RbmShape s = shape;
+        s.batch = rows;
+        return rbm_gradient_stats(s, level);
+      });
+  k.h2d_bytes *= static_cast<double>(shape.visible);
+  return k;
+}
+
+std::int64_t dp_train_updates(const TrainShape& run,
+                              const DataParallelShape& dp) {
+  const la::Index group_capacity =
+      static_cast<la::Index>(dp.slots()) * run.batch;
+  std::int64_t updates = 0;
+  for (int epoch = 0; epoch < run.epochs; ++epoch)
+    for (la::Index begin = 0; begin < run.examples; begin += run.chunk) {
+      const la::Index chunk_rows = std::min(run.chunk, run.examples - begin);
+      updates += (chunk_rows + group_capacity - 1) / group_capacity;
+    }
+  return updates;
 }
 
 }  // namespace deepphi::core

@@ -12,6 +12,8 @@
 // you whether you got it right.
 #pragma once
 
+#include <vector>
+
 #include "core/levels.hpp"
 #include "core/optimizer.hpp"
 #include "la/matrix.hpp"
@@ -68,5 +70,50 @@ phi::KernelStats rbm_train_stats(const TrainShape& run, const RbmShape& shape,
 std::int64_t train_batches(const TrainShape& run);
 /// Number of chunks the run transfers.
 std::int64_t train_chunks(const TrainShape& run);
+
+// --- data-parallel accounting (docs/data_parallel.md) ---
+
+/// Gradient-only work of one micro-batch at a matrix-form level — the
+/// per-slot work of a data-parallel global step (no optimizer update, which
+/// a data-parallel run applies once per S slots, not once per slot).
+phi::KernelStats sae_gradient_stats(const SaeShape& shape, OptLevel level);
+phi::KernelStats rbm_gradient_stats(const RbmShape& shape, OptLevel level);
+
+/// Work of one Optimizer::update call on an n-element parameter buffer
+/// (matrix-form levels).
+phi::KernelStats optimizer_update_stats(la::Index n, OptimizerKind kind);
+
+/// Data-parallel geometry of a training run.
+struct DataParallelShape {
+  int replicas = 1;
+  int accumulation_steps = 1;
+  int slots() const { return replicas * accumulation_steps; }
+};
+
+/// Combine work of one data-parallel global step with `live_slots` non-empty
+/// gradient slots over the model's gradient buffers (element counts in
+/// `buffer_sizes`): live−1 axpy contributions per buffer (the binary tree)
+/// plus one mean scal per buffer. Zero work when live_slots == 1 — the
+/// single-slot path adds no kernels, which is what makes it bit-identical to
+/// the single-team trainer.
+phi::KernelStats dp_combine_stats(const std::vector<la::Index>& buffer_sizes,
+                                  int live_slots);
+
+/// Full data-parallel run stats, replaying DataParallelTrainer's
+/// chunk / group / shard structure exactly (ragged chunk tails, empty
+/// slots, one optimizer update per group). With slots() == 1 this equals
+/// sae_train_stats / rbm_train_stats at the same matrix-form level.
+phi::KernelStats sae_dp_train_stats(const TrainShape& run,
+                                    const SaeShape& shape,
+                                    const DataParallelShape& dp, OptLevel level,
+                                    OptimizerKind opt = OptimizerKind::kSgd);
+phi::KernelStats rbm_dp_train_stats(const TrainShape& run,
+                                    const RbmShape& shape,
+                                    const DataParallelShape& dp, OptLevel level,
+                                    OptimizerKind opt = OptimizerKind::kSgd);
+
+/// Number of optimizer updates a data-parallel run applies.
+std::int64_t dp_train_updates(const TrainShape& run,
+                              const DataParallelShape& dp);
 
 }  // namespace deepphi::core

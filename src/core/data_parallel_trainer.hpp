@@ -1,0 +1,49 @@
+// Shared-memory data-parallel trainer (docs/data_parallel.md): the
+// DistBelief-style replica pattern the paper's scale discussion points at,
+// folded into one coprocessor's 240 threads instead of a parameter-server
+// cluster. R replica workers (par::ReplicaGroup), each driving its own
+// OpenMP team of ~T/R threads, evaluate gradient slots on disjoint
+// micro-batches of the SAME chunk — one Fig. 5 ring buffer feeds everyone —
+// and a deterministic binary-tree all-reduce combines the slots before one
+// optimizer update.
+//
+// Determinism contract (tested in tests/data_parallel_test.cpp):
+//   - A global step has S = replicas × accumulation_steps slots. Slot row
+//     ranges come from data::shard_rows(group_rows, S), and a slot's RNG
+//     stream is split(update_index·S + slot): both depend only on the data
+//     and S, never on which replica ran the slot or with how many threads.
+//   - The combine is a fixed binary tree over the live (non-empty) slots in
+//     ascending slot order, then a mean-scale — no atomics, no arrival
+//     order. Kernels are thread-count invariant, so a fixed seed and fixed S
+//     give bit-identical parameters for ANY (replicas, accumulation_steps)
+//     factorization of S and any replica_threads setting.
+//   - With S == 1 the slot degenerates to the single-team trainer's batch:
+//     same kernel sequence, same RNG streams, zero combine work — the
+//     trained parameters match core::Trainer bit for bit.
+#pragma once
+
+#include "core/trainer.hpp"
+
+namespace deepphi::core {
+
+/// Data-parallel twin of core::Trainer. Trainer::train delegates here when
+/// config.replicas > 1 or config.accumulation_steps > 1; constructing one
+/// directly also accepts S == 1 (used by the parity tests). Requires a
+/// matrix-form level and no task graph.
+class DataParallelTrainer {
+ public:
+  explicit DataParallelTrainer(TrainerConfig config);
+
+  const TrainerConfig& config() const { return config_; }
+
+  /// Gradient slots per global step (replicas × accumulation_steps).
+  int slots() const { return config_.replicas * config_.accumulation_steps; }
+
+  TrainReport train(SparseAutoencoder& model, const data::Dataset& dataset);
+  TrainReport train(Rbm& model, const data::Dataset& dataset);
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace deepphi::core

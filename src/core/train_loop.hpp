@@ -1,0 +1,232 @@
+// The shared chunk-granular training loop behind both trainers (flat
+// single-team core::Trainer and the replica-parallel
+// core::DataParallelTrainer): Algorithm 1's outer structure — pop a chunk
+// from the Fig. 5 ring, record its h2d transfer, time it, drive the
+// simulated device timeline, emit per-chunk/epoch/run telemetry, apply the
+// stop conditions — with the per-chunk gradient work supplied as a callback.
+//
+// Extracting this shell is what keeps the two trainers in lockstep: the
+// single-team path and the data-parallel path differ ONLY in how a popped
+// chunk is turned into gradient steps, so every chunk-level behavior
+// (ring occupancy gauges, device events, telemetry schema, target_cost /
+// max_batches stops) is shared by construction rather than by duplication.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/chunk_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace deepphi::core::detail {
+
+// Copies rows [begin, begin+count) of `chunk` into the reusable batch buffer.
+// Host-side staging (pointer bookkeeping on the real device), so it is not
+// recorded as kernel work.
+inline void slice_batch(const la::Matrix& chunk, la::Index begin,
+                        la::Index count, la::Matrix& batch) {
+  if (batch.rows() != count || batch.cols() != chunk.cols())
+    batch = la::Matrix::uninitialized(count, chunk.cols());
+  std::memcpy(batch.data(), chunk.row(begin),
+              sizeof(float) * static_cast<std::size_t>(count * chunk.cols()));
+}
+
+/// What one chunk of training produced, reported by the ChunkFn callback.
+struct ChunkOutcome {
+  double cost_sum = 0;       // Σ of per-micro-batch costs over the chunk
+  std::int64_t batches = 0;  // micro-batch gradient evaluations
+  std::int64_t updates = 0;  // optimizer steps applied
+  double final_cost = 0;     // cost of the chunk's last micro-batch
+};
+
+// RAII over the device-arena reservations a monitored training run makes.
+class DeviceReservation {
+ public:
+  DeviceReservation(phi::Device* device, double model_bytes,
+                    double workspace_bytes, double ring_bytes)
+      : device_(device) {
+    if (!device_) return;
+    try {
+      ids_.push_back(device_->alloc("model+gradients", model_bytes));
+      ids_.push_back(device_->alloc("workspace", workspace_bytes));
+      ids_.push_back(device_->alloc("chunk-ring", ring_bytes));
+    } catch (...) {
+      // A partially constructed object gets no destructor call: release
+      // whatever was reserved before the OOM, then rethrow.
+      for (auto id : ids_) device_->free(id);
+      throw;
+    }
+  }
+  ~DeviceReservation() {
+    if (device_)
+      for (auto id : ids_) device_->free(id);
+  }
+  DeviceReservation(const DeviceReservation&) = delete;
+  DeviceReservation& operator=(const DeviceReservation&) = delete;
+
+ private:
+  phi::Device* device_;
+  std::vector<phi::Device::BufferId> ids_;
+};
+
+/// Runs the chunked training loop over `dataset`. `process(chunk)` performs
+/// the chunk's gradient work (called inside a StatsScope that captures the
+/// chunk's KernelStats) and returns its ChunkOutcome. `model_bytes` /
+/// `workspace_bytes` size the device-arena reservation for a monitored run.
+template <typename ChunkFn>
+TrainReport run_train_loop(const TrainerConfig& config,
+                           const data::Dataset& dataset, la::Index dim,
+                           double model_bytes, double workspace_bytes,
+                           ChunkFn&& process) {
+  DEEPPHI_PROFILE_SCOPE("trainer.run");
+  DEEPPHI_CHECK_MSG(dataset.dim() == dim,
+                    "dataset dim " << dataset.dim() << " != model visible "
+                                   << dim);
+  DEEPPHI_CHECK_MSG(!dataset.empty(), "empty dataset");
+
+  TrainReport report;
+  report.chunk_bytes = 4.0 * static_cast<double>(config.chunk_examples) * dim;
+  util::Timer timer;
+  phi::StatsScope scope(report.stats);
+
+  phi::Device* device = config.device;
+  DeviceReservation reservation(
+      device, model_bytes, workspace_bytes,
+      static_cast<double>(config.ring_chunks) * report.chunk_bytes);
+  const bool async_loading = config.policy == ExecPolicy::kPhiOffload;
+  std::vector<double> slot_free(config.ring_chunks, 0.0);
+  double last_compute_end = 0.0;
+
+  bool stop = false;
+  for (int epoch = 0; epoch < config.epochs && !stop; ++epoch) {
+    data::ChunkStreamConfig stream_cfg;
+    stream_cfg.chunk_examples = config.chunk_examples;
+    stream_cfg.background = async_loading;
+    stream_cfg.ring_chunks = config.ring_chunks;
+    data::ChunkStream stream(dataset, stream_cfg);
+    const std::int64_t epoch_first_chunk = report.chunks;
+    const double epoch_start_s = timer.seconds();
+
+    while (!stop) {
+      auto chunk = stream.next();
+      if (!chunk) break;
+      DEEPPHI_PROFILE_SCOPE("trainer.chunk");
+      // How far ahead the Fig. 5 loading thread is right after this pop.
+      const std::size_t ring_buffered = stream.buffered();
+      static obs::Gauge& ring_gauge = obs::gauge("train.ring_buffered");
+      ring_gauge.set(static_cast<double>(ring_buffered));
+      util::Timer chunk_timer;
+      // The chunk crosses the host→device link (Fig. 5).
+      const double chunk_bytes = 4.0 * static_cast<double>(chunk->size());
+      phi::record(phi::h2d_contribution(chunk_bytes));
+      double transfer_end = 0.0;
+      if (device) {
+        const std::size_t slot =
+            static_cast<std::size_t>(report.chunks) % config.ring_chunks;
+        double ready = slot_free[slot];
+        if (!async_loading) ready = std::max(ready, last_compute_end);
+        transfer_end = device->submit_transfer(
+            "chunk[" + std::to_string(report.chunks) + "] h2d", chunk_bytes,
+            ready);
+      }
+
+      ChunkOutcome outcome;
+      phi::KernelStats chunk_stats;
+      {
+        phi::StatsScope chunk_scope(chunk_stats);
+        outcome = process(*chunk);
+      }
+      phi::record(chunk_stats);  // merge the chunk's work into report.stats
+      report.final_cost = outcome.final_cost;
+      if (device) {
+        const double compute_end = device->submit_compute(
+            "chunk[" + std::to_string(report.chunks) + "] train", chunk_stats,
+            transfer_end);
+        slot_free[static_cast<std::size_t>(report.chunks) %
+                  config.ring_chunks] = compute_end;
+        last_compute_end = compute_end;
+      }
+
+      report.batches += outcome.batches;
+      report.updates += outcome.updates;
+      static obs::Counter& batches_counter = obs::counter("train.batches");
+      batches_counter.add(outcome.batches);
+      const double chunk_wall_s = chunk_timer.seconds();
+      report.chunk_wall_seconds.push_back(chunk_wall_s);
+      const double chunk_mean =
+          outcome.cost_sum / static_cast<double>(outcome.batches);
+      report.chunk_mean_costs.push_back(chunk_mean);
+      if (config.telemetry) {
+        using obs::TelemetryField;
+        config.telemetry->emit(
+            "chunk",
+            {TelemetryField::integer("chunk", report.chunks),
+             TelemetryField::integer("epoch", epoch),
+             TelemetryField::integer("batches", outcome.batches),
+             TelemetryField::num("mean_cost", chunk_mean),
+             TelemetryField::num("wall_s", chunk_wall_s),
+             TelemetryField::num("batches_per_s",
+                                 chunk_wall_s > 0
+                                     ? static_cast<double>(outcome.batches) /
+                                           chunk_wall_s
+                                     : 0.0),
+             TelemetryField::num("gflops_per_s",
+                                 chunk_wall_s > 0
+                                     ? chunk_stats.total_flops() / chunk_wall_s /
+                                           1e9
+                                     : 0.0),
+             TelemetryField::integer(
+                 "ring_buffered", static_cast<std::int64_t>(ring_buffered))});
+      }
+      ++report.chunks;
+      // Algorithm 1's stop condition.
+      if (config.target_cost > 0 && chunk_mean <= config.target_cost)
+        stop = true;
+      if (config.max_batches > 0 && report.batches >= config.max_batches)
+        stop = true;
+    }
+
+    if (config.telemetry) {
+      using obs::TelemetryField;
+      const std::int64_t epoch_chunks = report.chunks - epoch_first_chunk;
+      double epoch_cost = 0;
+      for (std::int64_t k = epoch_first_chunk; k < report.chunks; ++k)
+        epoch_cost += report.chunk_mean_costs[static_cast<std::size_t>(k)];
+      config.telemetry->emit(
+          "epoch",
+          {TelemetryField::integer("epoch", epoch),
+           TelemetryField::integer("chunks", epoch_chunks),
+           TelemetryField::num("mean_cost",
+                               epoch_chunks > 0
+                                   ? epoch_cost /
+                                         static_cast<double>(epoch_chunks)
+                                   : 0.0),
+           TelemetryField::num("wall_s", timer.seconds() - epoch_start_s)});
+    }
+  }
+
+  report.wall_seconds = timer.seconds();
+  if (config.telemetry) {
+    using obs::TelemetryField;
+    config.telemetry->emit_metrics(
+        "run_summary",
+        {TelemetryField::integer("chunks", report.chunks),
+         TelemetryField::integer("batches", report.batches),
+         TelemetryField::num("final_cost", report.final_cost),
+         TelemetryField::num("wall_s", report.wall_seconds),
+         TelemetryField::num("gflops_per_s",
+                             report.wall_seconds > 0
+                                 ? report.stats.total_flops() /
+                                       report.wall_seconds / 1e9
+                                 : 0.0)});
+  }
+  return report;
+}
+
+}  // namespace deepphi::core::detail

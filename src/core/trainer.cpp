@@ -1,34 +1,16 @@
 #include "core/trainer.hpp"
 
-#include <cstring>
 #include <memory>
 
 #include "core/autoencoder_loops.hpp"
+#include "core/data_parallel_trainer.hpp"
 #include "core/rbm_loops.hpp"
 #include "core/rbm_taskgraph.hpp"
-#include "data/chunk_stream.hpp"
-#include "obs/metrics.hpp"
+#include "core/train_loop.hpp"
 #include "obs/profiler.hpp"
-#include "obs/telemetry.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 namespace deepphi::core {
-
-namespace {
-
-// Copies rows [begin, begin+count) of `chunk` into the reusable batch buffer.
-// Host-side staging (pointer bookkeeping on the real device), so it is not
-// recorded as kernel work.
-void slice_batch(const la::Matrix& chunk, la::Index begin, la::Index count,
-                 la::Matrix& batch) {
-  if (batch.rows() != count || batch.cols() != chunk.cols())
-    batch = la::Matrix::uninitialized(count, chunk.cols());
-  std::memcpy(batch.data(), chunk.row(begin),
-              sizeof(float) * static_cast<std::size_t>(count * chunk.cols()));
-}
-
-}  // namespace
 
 phi::KernelStats TrainReport::per_chunk_compute_stats() const {
   phi::KernelStats compute = stats;
@@ -49,209 +31,56 @@ Trainer::Trainer(TrainerConfig config) : config_(config) {
   DEEPPHI_CHECK_MSG(config.ring_chunks >= 1, "ring_chunks must be >= 1");
   DEEPPHI_CHECK_MSG(!config.use_taskgraph || is_matrix_form(config.level),
                     "the Fig. 6 task graph requires a matrix-form level");
+  DEEPPHI_CHECK_MSG(config.replicas >= 1, "replicas must be >= 1");
+  DEEPPHI_CHECK_MSG(config.replica_threads >= 0,
+                    "replica_threads must be >= 0 (0 = auto)");
+  DEEPPHI_CHECK_MSG(config.accumulation_steps >= 1,
+                    "accumulation_steps must be >= 1");
+  const bool data_parallel =
+      config.replicas > 1 || config.accumulation_steps > 1;
+  DEEPPHI_CHECK_MSG(!data_parallel || is_matrix_form(config.level),
+                    "data-parallel training (replicas/accumulation) requires "
+                    "a matrix-form level");
+  DEEPPHI_CHECK_MSG(!data_parallel || !config.use_taskgraph,
+                    "the Fig. 6 task graph cannot be combined with "
+                    "data-parallel replicas");
 }
-
-namespace {
-
-// RAII over the device-arena reservations a monitored training run makes.
-class DeviceReservation {
- public:
-  DeviceReservation(phi::Device* device, double model_bytes,
-                    double workspace_bytes, double ring_bytes)
-      : device_(device) {
-    if (!device_) return;
-    try {
-      ids_.push_back(device_->alloc("model+gradients", model_bytes));
-      ids_.push_back(device_->alloc("workspace", workspace_bytes));
-      ids_.push_back(device_->alloc("chunk-ring", ring_bytes));
-    } catch (...) {
-      // A partially constructed object gets no destructor call: release
-      // whatever was reserved before the OOM, then rethrow.
-      for (auto id : ids_) device_->free(id);
-      throw;
-    }
-  }
-  ~DeviceReservation() {
-    if (device_)
-      for (auto id : ids_) device_->free(id);
-  }
-  DeviceReservation(const DeviceReservation&) = delete;
-  DeviceReservation& operator=(const DeviceReservation&) = delete;
-
- private:
-  phi::Device* device_;
-  std::vector<phi::Device::BufferId> ids_;
-};
-
-}  // namespace
 
 template <typename StepFn>
 TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
                               double model_bytes, StepFn&& step) {
-  DEEPPHI_PROFILE_SCOPE("trainer.run");
-  DEEPPHI_CHECK_MSG(dataset.dim() == dim,
-                    "dataset dim " << dataset.dim() << " != model visible "
-                                   << dim);
-  DEEPPHI_CHECK_MSG(!dataset.empty(), "empty dataset");
-
-  TrainReport report;
-  report.chunk_bytes =
-      4.0 * static_cast<double>(config_.chunk_examples) * dim;
-  util::Timer timer;
-  phi::StatsScope scope(report.stats);
-
-  phi::Device* device = config_.device;
   // Model + gradients + per-batch temporaries + the Fig. 5 chunk ring must
   // fit the card. Workspace ≈ 4 batch-sized activation matrices (the SAE's
   // y/z/delta2/back; the RBM's four phase matrices are no larger).
   const double workspace_bytes =
       4.0 * 4.0 * static_cast<double>(config_.batch_size) * dim;
-  DeviceReservation reservation(
-      device, 2.0 * model_bytes, workspace_bytes,
-      static_cast<double>(config_.ring_chunks) * report.chunk_bytes);
-  const bool async_loading = config_.policy == ExecPolicy::kPhiOffload;
-  std::vector<double> slot_free(config_.ring_chunks, 0.0);
-  double last_compute_end = 0.0;
-
   la::Matrix batch;
   std::int64_t global_step = 0;
-  bool stop = false;
-  for (int epoch = 0; epoch < config_.epochs && !stop; ++epoch) {
-    data::ChunkStreamConfig stream_cfg;
-    stream_cfg.chunk_examples = config_.chunk_examples;
-    stream_cfg.background = async_loading;
-    stream_cfg.ring_chunks = config_.ring_chunks;
-    data::ChunkStream stream(dataset, stream_cfg);
-    const std::int64_t epoch_first_chunk = report.chunks;
-    const double epoch_start_s = timer.seconds();
-
-    while (!stop) {
-      auto chunk = stream.next();
-      if (!chunk) break;
-      DEEPPHI_PROFILE_SCOPE("trainer.chunk");
-      // How far ahead the Fig. 5 loading thread is right after this pop.
-      const std::size_t ring_buffered = stream.buffered();
-      static obs::Gauge& ring_gauge = obs::gauge("train.ring_buffered");
-      ring_gauge.set(static_cast<double>(ring_buffered));
-      util::Timer chunk_timer;
-      // The chunk crosses the host→device link (Fig. 5).
-      const double chunk_bytes = 4.0 * static_cast<double>(chunk->size());
-      phi::record(phi::h2d_contribution(chunk_bytes));
-      double transfer_end = 0.0;
-      if (device) {
-        const std::size_t slot =
-            static_cast<std::size_t>(report.chunks) % config_.ring_chunks;
-        double ready = slot_free[slot];
-        if (!async_loading) ready = std::max(ready, last_compute_end);
-        transfer_end = device->submit_transfer(
-            "chunk[" + std::to_string(report.chunks) + "] h2d", chunk_bytes,
-            ready);
-      }
-
-      double chunk_cost = 0;
-      std::int64_t chunk_batches = 0;
-      phi::KernelStats chunk_stats;
-      {
-        phi::StatsScope chunk_scope(chunk_stats);
-        for (la::Index begin = 0; begin < chunk->rows();
+  return detail::run_train_loop(
+      config_, dataset, dim, 2.0 * model_bytes, workspace_bytes,
+      [&](const la::Matrix& chunk) {
+        detail::ChunkOutcome outcome;
+        for (la::Index begin = 0; begin < chunk.rows();
              begin += config_.batch_size) {
           DEEPPHI_PROFILE_SCOPE("trainer.batch");
           const la::Index count =
-              std::min(config_.batch_size, chunk->rows() - begin);
-          slice_batch(*chunk, begin, count, batch);
+              std::min(config_.batch_size, chunk.rows() - begin);
+          detail::slice_batch(chunk, begin, count, batch);
           const double cost = step(batch, global_step);
           ++global_step;
-          ++chunk_batches;
-          chunk_cost += cost;
-          report.final_cost = cost;
+          ++outcome.batches;
+          ++outcome.updates;
+          outcome.cost_sum += cost;
+          outcome.final_cost = cost;
         }
-      }
-      phi::record(chunk_stats);  // merge the chunk's work into report.stats
-      if (device) {
-        const double compute_end = device->submit_compute(
-            "chunk[" + std::to_string(report.chunks) + "] train", chunk_stats,
-            transfer_end);
-        slot_free[static_cast<std::size_t>(report.chunks) %
-                  config_.ring_chunks] = compute_end;
-        last_compute_end = compute_end;
-      }
-
-      report.batches += chunk_batches;
-      static obs::Counter& batches_counter = obs::counter("train.batches");
-      batches_counter.add(chunk_batches);
-      const double chunk_wall_s = chunk_timer.seconds();
-      report.chunk_wall_seconds.push_back(chunk_wall_s);
-      const double chunk_mean = chunk_cost / static_cast<double>(chunk_batches);
-      report.chunk_mean_costs.push_back(chunk_mean);
-      if (config_.telemetry) {
-        using obs::TelemetryField;
-        config_.telemetry->emit(
-            "chunk",
-            {TelemetryField::integer("chunk", report.chunks),
-             TelemetryField::integer("epoch", epoch),
-             TelemetryField::integer("batches", chunk_batches),
-             TelemetryField::num("mean_cost", chunk_mean),
-             TelemetryField::num("wall_s", chunk_wall_s),
-             TelemetryField::num("batches_per_s",
-                                 chunk_wall_s > 0
-                                     ? static_cast<double>(chunk_batches) /
-                                           chunk_wall_s
-                                     : 0.0),
-             TelemetryField::num("gflops_per_s",
-                                 chunk_wall_s > 0
-                                     ? chunk_stats.total_flops() / chunk_wall_s /
-                                           1e9
-                                     : 0.0),
-             TelemetryField::integer(
-                 "ring_buffered", static_cast<std::int64_t>(ring_buffered))});
-      }
-      ++report.chunks;
-      // Algorithm 1's stop condition.
-      if (config_.target_cost > 0 && chunk_mean <= config_.target_cost)
-        stop = true;
-      if (config_.max_batches > 0 && report.batches >= config_.max_batches)
-        stop = true;
-    }
-
-    if (config_.telemetry) {
-      using obs::TelemetryField;
-      const std::int64_t epoch_chunks = report.chunks - epoch_first_chunk;
-      double epoch_cost = 0;
-      for (std::int64_t k = epoch_first_chunk; k < report.chunks; ++k)
-        epoch_cost += report.chunk_mean_costs[static_cast<std::size_t>(k)];
-      config_.telemetry->emit(
-          "epoch",
-          {TelemetryField::integer("epoch", epoch),
-           TelemetryField::integer("chunks", epoch_chunks),
-           TelemetryField::num("mean_cost",
-                               epoch_chunks > 0
-                                   ? epoch_cost /
-                                         static_cast<double>(epoch_chunks)
-                                   : 0.0),
-           TelemetryField::num("wall_s", timer.seconds() - epoch_start_s)});
-    }
-  }
-
-  report.wall_seconds = timer.seconds();
-  if (config_.telemetry) {
-    using obs::TelemetryField;
-    config_.telemetry->emit_metrics(
-        "run_summary",
-        {TelemetryField::integer("chunks", report.chunks),
-         TelemetryField::integer("batches", report.batches),
-         TelemetryField::num("final_cost", report.final_cost),
-         TelemetryField::num("wall_s", report.wall_seconds),
-         TelemetryField::num("gflops_per_s",
-                             report.wall_seconds > 0
-                                 ? report.stats.total_flops() /
-                                       report.wall_seconds / 1e9
-                                 : 0.0)});
-  }
-  return report;
+        return outcome;
+      });
 }
 
 TrainReport Trainer::train(SparseAutoencoder& model,
                            const data::Dataset& dataset) {
+  if (config_.replicas > 1 || config_.accumulation_steps > 1)
+    return DataParallelTrainer(config_).train(model, dataset);
   SparseAutoencoder::Workspace ws;
   AeGradients grads;
   Optimizer optimizer(config_.optimizer);
@@ -278,6 +107,8 @@ TrainReport Trainer::train(SparseAutoencoder& model,
 }
 
 TrainReport Trainer::train(Rbm& model, const data::Dataset& dataset) {
+  if (config_.replicas > 1 || config_.accumulation_steps > 1)
+    return DataParallelTrainer(config_).train(model, dataset);
   Rbm::Workspace ws;
   RbmGradients grads;
   Optimizer optimizer(config_.optimizer);

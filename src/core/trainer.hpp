@@ -46,6 +46,21 @@ struct TrainerConfig {
   /// Fig. 6 concurrent matrix ops for the RBM step (matrix-form levels only).
   bool use_taskgraph = false;
   int taskgraph_threads = 4;
+  /// Shared-memory data parallelism (docs/data_parallel.md). A global step
+  /// evaluates S = replicas × accumulation_steps gradient slots, each on one
+  /// micro-batch of up to batch_size rows (slot row ranges come from
+  /// data::shard_rows, so they depend only on the row count and S), combines
+  /// them with a deterministic binary-tree reduction, and applies ONE
+  /// optimizer update — an effective batch of up to S × batch_size examples.
+  /// Replica r computes slots r·A+a concurrently with the other replicas on
+  /// a private OpenMP team. With replicas == 1 and accumulation_steps == 1
+  /// training takes the single-team path, unchanged. S > 1 requires a
+  /// matrix-form level and is incompatible with use_taskgraph.
+  int replicas = 1;
+  /// OpenMP threads per replica's kernels; 0 = ambient threads / replicas.
+  int replica_threads = 0;
+  /// Gradient slots each replica evaluates sequentially per global step.
+  int accumulation_steps = 1;
   /// Update rule for the matrix-form levels; the loop-form levels (Baseline /
   /// OpenMP) always use plain SGD at optimizer.lr, matching the paper's
   /// unoptimized code.
@@ -71,7 +86,11 @@ struct TrainerConfig {
 struct TrainReport {
   double final_cost = 0;        // cost of the last batch
   std::vector<double> chunk_mean_costs;
-  std::int64_t batches = 0;
+  std::int64_t batches = 0;     // micro-batch gradient evaluations
+  /// Optimizer steps applied. Equals `batches` on the single-team path; a
+  /// data-parallel run applies one update per S-slot group, so
+  /// updates ≈ batches / S (exactly, up to ragged chunk tails).
+  std::int64_t updates = 0;
   std::int64_t chunks = 0;
   double chunk_bytes = 0;       // bytes of one full chunk
   phi::KernelStats stats;       // measured work, including h2d transfers

@@ -7,6 +7,21 @@
 
 namespace deepphi::data {
 
+std::vector<RowShard> shard_rows(Index rows, int shards) {
+  DEEPPHI_CHECK_MSG(rows >= 0, "shard_rows: negative row count " << rows);
+  DEEPPHI_CHECK_MSG(shards >= 1, "shard_rows: shards must be >= 1, got " << shards);
+  std::vector<RowShard> out(static_cast<std::size_t>(shards));
+  const Index base = rows / shards;
+  const Index extra = rows % shards;
+  Index begin = 0;
+  for (int s = 0; s < shards; ++s) {
+    const Index count = base + (static_cast<Index>(s) < extra ? 1 : 0);
+    out[static_cast<std::size_t>(s)] = RowShard{begin, count};
+    begin += count;
+  }
+  return out;
+}
+
 ChunkStream::ChunkStream(const Dataset& dataset, ChunkStreamConfig config)
     : dataset_(dataset), config_(config) {
   DEEPPHI_CHECK_MSG(config_.chunk_examples >= 1,

@@ -9,11 +9,29 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "data/dataset.hpp"
 #include "parallel/pipeline.hpp"
 
 namespace deepphi::data {
+
+/// One contiguous row range of a chunk, owned by one data-parallel slot.
+struct RowShard {
+  Index begin = 0;  // first row (inclusive)
+  Index rows = 0;   // row count (0 = this slot sits out the ragged tail)
+
+  Index end() const { return begin + rows; }
+};
+
+/// Deterministic split of `rows` chunk rows into `shards` disjoint,
+/// covering, contiguous row ranges, in row order. Row counts are balanced:
+/// the first rows % shards shards take one extra row, so the split depends
+/// only on (rows, shards) — never on thread counts or replica placement.
+/// This is what lets one Fig. 5 ring buffer feed every replica: the trainer
+/// pops one chunk and hands each replica its shard of it by row range.
+/// When rows < shards the trailing shards are empty (rows == 0).
+std::vector<RowShard> shard_rows(Index rows, int shards);
 
 struct ChunkStreamConfig {
   Index chunk_examples = 10000;  // examples per chunk

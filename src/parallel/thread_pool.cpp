@@ -42,8 +42,20 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 }
 
 void ThreadPool::wait_idle() {
+  DEEPPHI_CHECK_MSG(!on_worker_thread(),
+                    "ThreadPool::wait_idle() called from one of the pool's own "
+                    "worker threads — the calling task counts as active, so "
+                    "the wait can never complete (deadlock). Wait on submit() "
+                    "futures from inside tasks instead.");
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& w : workers_)
+    if (w.get_id() == self) return true;
+  return false;
 }
 
 std::uint64_t ThreadPool::tasks_executed() const {

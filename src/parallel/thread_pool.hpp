@@ -27,8 +27,16 @@ class ThreadPool {
   /// exceptions thrown by `fn`.
   std::future<void> submit(std::function<void()> fn);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. Throws
+  /// util::Error when called from one of this pool's own worker threads: the
+  /// calling task counts as active, so the wait could never be satisfied —
+  /// failing fast replaces a silent deadlock. Tasks that need to observe
+  /// other tasks' completion should hold their submit() futures instead.
   void wait_idle();
+
+  /// True when the calling thread is one of this pool's workers (the
+  /// nested-wait_idle guard; also useful for assertions in task code).
+  bool on_worker_thread() const;
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 

@@ -68,6 +68,17 @@ TEST(ThreadPool, RejectsNullTask) {
   EXPECT_THROW(pool.submit(nullptr), util::Error);
 }
 
+TEST(ThreadPool, WaitIdleFromWorkerThreadFailsFast) {
+  // A task calling wait_idle() on its own pool can never complete (the task
+  // itself counts as active) — the pool must throw instead of deadlocking.
+  ThreadPool pool(1);
+  auto result = pool.submit([&] {
+    EXPECT_THROW(pool.wait_idle(), util::Error);
+  });
+  result.get();
+  pool.wait_idle();  // from the outside it still works
+}
+
 // --- TaskGraph ---
 
 TEST(TaskGraph, SequentialRespectsOrder) {

@@ -1,0 +1,32 @@
+# CTest script: train with data-parallel replicas (--replicas 4 --accum 2)
+# plus telemetry, then validate that the run header carries the data-parallel
+# geometry (replicas / slots / shard layout) alongside the usual schema'd
+# records. Exercises the ReplicaGroup + tree all-reduce path end to end
+# through the CLI, not just the unit tests.
+execute_process(
+  COMMAND ${TRAIN} --model=sae --synthetic=digits --examples=512 --epochs=2
+          --hidden=16 --chunk=128 --batch=16 --replicas=4 --accum=2
+          --telemetry ${WORK}/dp_run.jsonl
+  RESULT_VARIABLE train_rc)
+if(NOT train_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_train --replicas=4 --accum=2 failed: ${train_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CHECK} --jsonl --require=record --require=seq
+          --expect=deepphi.telemetry.v1 --expect=run_header
+          --expect=run_summary ${WORK}/dp_run.jsonl
+  RESULT_VARIABLE telemetry_rc)
+if(NOT telemetry_rc EQUAL 0)
+  message(FATAL_ERROR "dp telemetry JSONL failed validation: ${telemetry_rc}")
+endif()
+
+# The run header must record the data-parallel geometry.
+file(STRINGS ${WORK}/dp_run.jsonl header_line LIMIT_COUNT 1)
+foreach(key "\"replicas\":4" "\"accumulation_steps\":2" "\"slots\":8"
+        "\"shard_rows\"")
+  string(FIND "${header_line}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "run header missing ${key}: ${header_line}")
+  endif()
+endforeach()

@@ -25,6 +25,7 @@
 #include "core/stacked_autoencoder.hpp"
 #include "core/trainer.hpp"
 #include "data/binary_io.hpp"
+#include "data/chunk_stream.hpp"
 #include "data/idx_io.hpp"
 #include "data/patches.hpp"
 #include "la/simd/dispatch.hpp"
@@ -79,11 +80,28 @@ data::Dataset load_data(const util::Options& options) {
 }
 
 void print_report(const char* label, const core::TrainReport& report) {
-  std::printf("%s: %lld batches / %lld chunks, cost %.5f -> %.5f, %.2fs wall\n",
-              label, static_cast<long long>(report.batches),
-              static_cast<long long>(report.chunks),
-              report.chunk_mean_costs.front(), report.chunk_mean_costs.back(),
-              report.wall_seconds);
+  std::printf(
+      "%s: %lld batches / %lld updates / %lld chunks, cost %.5f -> %.5f, "
+      "%.2fs wall\n",
+      label, static_cast<long long>(report.batches),
+      static_cast<long long>(report.updates),
+      static_cast<long long>(report.chunks),
+      report.chunk_mean_costs.front(), report.chunk_mean_costs.back(),
+      report.wall_seconds);
+}
+
+// Per-slot row counts of one full gradient group, e.g. "128,128,128,128" —
+// the shard layout every full group of the run uses (ragged tails shrink it).
+std::string shard_layout(const core::TrainerConfig& tcfg) {
+  const int slots = tcfg.replicas * tcfg.accumulation_steps;
+  const la::Index group = std::min(
+      static_cast<la::Index>(slots) * tcfg.batch_size, tcfg.chunk_examples);
+  std::string out;
+  for (const data::RowShard& shard : data::shard_rows(group, slots)) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(shard.rows);
+  }
+  return out;
 }
 
 }  // namespace
@@ -107,6 +125,13 @@ int run(int argc, char** argv) {
   options.declare("optimizer", "sgd | momentum | adagrad", "sgd");
   options.declare("level", "baseline | openmp | openmp+mkl | improved",
                   "improved");
+  options.declare("replicas",
+                  "data-parallel replica workers (matrix-form levels; "
+                  "docs/data_parallel.md)", "1");
+  options.declare("replica-threads",
+                  "OpenMP threads per replica (0 = split evenly)", "0");
+  options.declare("accum",
+                  "gradient accumulation steps per replica per update", "1");
   options.declare("cd-k", "contrastive divergence steps (rbm/dbn)", "1");
   options.declare("gaussian-visible", "Gaussian visible units (rbm/dbn)");
   options.declare("taskgraph", "run the RBM step as the Fig. 6 task graph");
@@ -147,6 +172,9 @@ int run(int argc, char** argv) {
   tcfg.level = parse_level(options.get_string("level"));
   tcfg.policy = core::ExecPolicy::kPhiOffload;
   tcfg.use_taskgraph = options.has("taskgraph");
+  tcfg.replicas = static_cast<int>(options.get_int("replicas"));
+  tcfg.replica_threads = static_cast<int>(options.get_int("replica-threads"));
+  tcfg.accumulation_steps = static_cast<int>(options.get_int("accum"));
   tcfg.optimizer.kind = parse_optimizer(options.get_string("optimizer"));
   tcfg.optimizer.lr = static_cast<float>(options.get_double("lr"));
   tcfg.seed = static_cast<std::uint64_t>(options.get_int("seed"));
@@ -177,6 +205,15 @@ int run(int argc, char** argv) {
          TelemetryField::str("optimizer", options.get_string("optimizer")),
          TelemetryField::num("lr", options.get_double("lr")),
          TelemetryField::boolean("taskgraph", tcfg.use_taskgraph),
+         TelemetryField::integer("replicas", tcfg.replicas),
+         TelemetryField::integer("replica_threads", tcfg.replica_threads),
+         TelemetryField::integer("accumulation_steps",
+                                 tcfg.accumulation_steps),
+         TelemetryField::integer(
+             "slots",
+             static_cast<std::int64_t>(tcfg.replicas) *
+                 tcfg.accumulation_steps),
+         TelemetryField::str("shard_rows", shard_layout(tcfg)),
          TelemetryField::integer("seed", static_cast<std::int64_t>(seed))});
     tcfg.telemetry = telemetry.get();
   }
