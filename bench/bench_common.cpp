@@ -19,6 +19,7 @@ namespace {
 // and the file is rewritten each time so multi-table benches (e.g. Fig. 7's
 // SAE + RBM tables) end up with every table in one document.
 std::string g_bench_title = "bench";
+std::string g_precision = "fp32";
 std::vector<util::Table> g_tables;
 
 // Emits a cell as a JSON number when it round-trips cleanly as a double,
@@ -45,6 +46,9 @@ void write_json(const std::string& path) {
   // The dispatch tier that real (non-simulated) kernel timings in this
   // document ran on; per-tier tables additionally carry a tier column.
   w.member("simd_tier", la::simd::tier_name(la::simd::active_tier()));
+  // Numeric precision of the bench's primary workload ("fp32" unless the
+  // bench says otherwise via set_precision — e.g. "int8" for bench_quant).
+  w.member("precision", g_precision);
   w.key("tables");
   w.begin_array();
   for (const util::Table& table : g_tables) {
@@ -125,6 +129,8 @@ void emit(const util::Options& options, const util::Table& table) {
     std::printf("(json written to %s)\n", path.c_str());
   }
 }
+
+void set_precision(const std::string& precision) { g_precision = precision; }
 
 void declare_common_flags(util::Options& options) {
   options.declare("csv", "also write the result table to this CSV path");

@@ -44,6 +44,11 @@ double host_run_seconds(const phi::KernelStats& total_stats,
 /// that emit several tables accumulate them all.
 void emit(const util::Options& options, const util::Table& table);
 
+/// Sets the "precision" field of --json output (default "fp32") — benches
+/// whose primary workload runs quantized call set_precision("int8") so
+/// snapshots are self-describing next to simd_tier.
+void set_precision(const std::string& precision);
+
 /// Declares the flags every bench shares (--csv, --json). Call before
 /// validate().
 void declare_common_flags(util::Options& options);

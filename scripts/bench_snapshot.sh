@@ -1,57 +1,95 @@
 #!/usr/bin/env bash
-# Bench snapshots: builds the tree and leaves two committed JSON records at
-# the repo root, both validated against deepphi.bench.v1.
+# Bench snapshots: builds the tree and leaves committed JSON records at the
+# repo root, each validated against deepphi.bench.v1.
 #
-#  - BENCH_simd.json: the two real-wall-time kernel benches
-#    (bench_micro_kernels, bench_gemm_fusion) with --json, merged into one
-#    document — the dispatched-vs-forced-scalar speedups on this machine.
-#  - BENCH_data_parallel.json: bench_data_parallel --json — the simulated
-#    replica-sweep step-throughput tables (Fig. 9 batch range) plus the real
-#    host wall-clock table of DataParallelTrainer on this machine.
+#  - simd          -> BENCH_simd.json: the two real-wall-time kernel benches
+#                     (bench_micro_kernels, bench_gemm_fusion) with --json,
+#                     merged into one document — the dispatched-vs-forced-
+#                     scalar speedups on this machine.
+#  - data_parallel -> BENCH_data_parallel.json: bench_data_parallel --json —
+#                     the simulated replica-sweep step-throughput tables
+#                     (Fig. 9 batch range) plus the real host wall-clock
+#                     table of DataParallelTrainer on this machine.
+#  - quant         -> BENCH_quant.json: bench_quant --json — served rows/s
+#                     fp32 vs int8 at batch 64 on Fig. 7-class shapes, with
+#                     the encode-accuracy delta.
 #
-# Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
+# Usage: scripts/bench_snapshot.sh [build-dir] [name...]
+#   build-dir defaults to "build"; names default to all of
+#   simd data_parallel quant.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
-OUT="BENCH_simd.json"
-DP_OUT="BENCH_data_parallel.json"
+shift $(( $# > 0 ? 1 : 0 ))
+NAMES=("$@")
+if [ ${#NAMES[@]} -eq 0 ]; then
+  NAMES=(simd data_parallel quant)
+fi
+
+TARGETS=(deepphi_json_check)
+for name in "${NAMES[@]}"; do
+  case "$name" in
+    simd)          TARGETS+=(bench_micro_kernels bench_gemm_fusion) ;;
+    data_parallel) TARGETS+=(bench_data_parallel) ;;
+    quant)         TARGETS+=(bench_quant) ;;
+    *) echo "unknown snapshot '$name' (known: simd data_parallel quant)" >&2
+       exit 2 ;;
+  esac
+done
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target bench_micro_kernels bench_gemm_fusion bench_data_parallel \
-  deepphi_json_check
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TARGETS[@]}"
 
-MICRO_JSON="$(mktemp)"
-FUSION_JSON="$(mktemp)"
-trap 'rm -f "$MICRO_JSON" "$FUSION_JSON"' EXIT
+# validate OUT [extra json_check args...] — the shared deepphi.bench.v1
+# contract every snapshot must satisfy, plus per-snapshot requirements.
+validate() {
+  local out="$1"
+  shift
+  "$BUILD_DIR/tools/deepphi_json_check" --require=schema --require=bench \
+    --require=tables --require=columns --require=rows \
+    --expect=deepphi.bench.v1 "$@" "$out"
+}
 
-# Keep the google-benchmark section to the per-tier GEMM variants; the
-# hand-timed Fig. 7 tables are what lands in the JSON.
-"$BUILD_DIR/bench/bench_micro_kernels" \
-  --benchmark_filter='BM_GemmBlocked<' \
-  --batch=256 --reps=3 --max_hidden=4096 --json="$MICRO_JSON"
-"$BUILD_DIR/bench/bench_gemm_fusion" \
-  --batch=256 --reps=3 --max_hidden=4096 --json="$FUSION_JSON"
+snapshot_simd() {
+  local out="BENCH_simd.json"
+  local micro_json fusion_json
+  micro_json="$(mktemp)"
+  fusion_json="$(mktemp)"
+  # Keep the google-benchmark section to the per-tier GEMM variants; the
+  # hand-timed Fig. 7 tables are what lands in the JSON.
+  "$BUILD_DIR/bench/bench_micro_kernels" \
+    --benchmark_filter='BM_GemmBlocked<' \
+    --batch=256 --reps=3 --max_hidden=4096 --json="$micro_json"
+  "$BUILD_DIR/bench/bench_gemm_fusion" \
+    --batch=256 --reps=3 --max_hidden=4096 --json="$fusion_json"
+  # Each bench writes its own deepphi.bench.v1 document; concatenate their
+  # tables into one document so the snapshot is a single valid file.
+  jq -s '{schema: .[0].schema,
+          bench: "simd_snapshot",
+          simd_tier: .[0].simd_tier,
+          benches: [.[].bench],
+          tables: (map(.tables) | add)}' \
+    "$micro_json" "$fusion_json" > "$out"
+  rm -f "$micro_json" "$fusion_json"
+  validate "$out"
+  echo "snapshot written to $out"
+}
 
-# Each bench writes its own deepphi.bench.v1 document; concatenate their
-# tables into one document so the snapshot is a single valid file.
-jq -s '{schema: .[0].schema,
-        bench: "simd_snapshot",
-        simd_tier: .[0].simd_tier,
-        benches: [.[].bench],
-        tables: (map(.tables) | add)}' \
-  "$MICRO_JSON" "$FUSION_JSON" > "$OUT"
+snapshot_data_parallel() {
+  local out="BENCH_data_parallel.json"
+  "$BUILD_DIR/bench/bench_data_parallel" --model=both --json="$out"
+  validate "$out" --require=speedup
+  echo "snapshot written to $out"
+}
 
-"$BUILD_DIR/tools/deepphi_json_check" --require=schema --require=bench \
-  --require=tables --require=columns --require=rows \
-  --expect=deepphi.bench.v1 "$OUT"
+snapshot_quant() {
+  local out="BENCH_quant.json"
+  "$BUILD_DIR/bench/bench_quant" --seconds=1 --json="$out"
+  validate "$out" --require=precision --require=speedup --expect=int8
+  echo "snapshot written to $out"
+}
 
-# Data-parallel replica sweep: one bench, one document — no merge needed.
-"$BUILD_DIR/bench/bench_data_parallel" --model=both --json="$DP_OUT"
-
-"$BUILD_DIR/tools/deepphi_json_check" --require=schema --require=bench \
-  --require=tables --require=columns --require=rows --require=speedup \
-  --expect=deepphi.bench.v1 "$DP_OUT"
-
-echo "snapshots written to $OUT and $DP_OUT"
+for name in "${NAMES[@]}"; do
+  "snapshot_$name"
+done

@@ -453,6 +453,29 @@ phi::KernelStats rbm_dp_train_stats(const TrainShape& run,
   return k;
 }
 
+phi::KernelStats quant_encode_stats(la::Index batch, la::Index inputs,
+                                    la::Index units) {
+  KernelStats k;
+  // QuantizedActivations::quantize: range scan + code loop.
+  k += loop_contribution(batch * inputs, 4.0, 1.0, 0.25);
+  // la::quant::encode_sigmoid: int8 GEMM + fused a_scale epilogue.
+  k += gemm_contribution(batch, units, inputs);
+  k += epilogue_contribution(batch * units, 1.0, 0.0);
+  // la::bias_sigmoid over the output.
+  k += loop_contribution(batch * units, 9.0, 1.0, 1.0);
+  return k;
+}
+
+phi::KernelStats quant_encode_stats(la::Index batch,
+                                    const std::vector<la::Index>& dims) {
+  DEEPPHI_CHECK_MSG(dims.size() >= 2,
+                    "quantized chain needs >= 2 dims, got " << dims.size());
+  KernelStats k;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    k += quant_encode_stats(batch, dims[i], dims[i + 1]);
+  return k;
+}
+
 std::int64_t dp_train_updates(const TrainShape& run,
                               const DataParallelShape& dp) {
   const la::Index group_capacity =

@@ -116,4 +116,16 @@ phi::KernelStats rbm_dp_train_stats(const TrainShape& run,
 std::int64_t dp_train_updates(const TrainShape& run,
                               const DataParallelShape& dp);
 
+// --- quantized inference accounting (docs/serving.md "Precision") ---
+
+/// Work of one quantized layer forward on a batch — the exact contribution
+/// sequence of la::quant: activation quantize loop, int8 GEMM with the fused
+/// a_scale epilogue, then the bias_sigmoid pass.
+phi::KernelStats quant_encode_stats(la::Index batch, la::Index inputs,
+                                    la::Index units);
+
+/// QuantizedEncoder::encode over a layer chain, dims = {input, h1, h2, ...}.
+phi::KernelStats quant_encode_stats(la::Index batch,
+                                    const std::vector<la::Index>& dims);
+
 }  // namespace deepphi::core

@@ -196,6 +196,63 @@ void save_model(const Dbn& model, const std::string& path) {
   DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
 }
 
+void save_model(const QuantizedEncoder& model, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_magic(out, "DPQE");
+  write_pod(out, static_cast<std::int64_t>(model.layers()));
+  write_pod(out, static_cast<std::int64_t>(model.group()));
+  for (std::size_t k = 0; k < model.layers(); ++k) {
+    const QuantizedEncoder::Layer& l = model.layer(k);
+    write_pod(out, static_cast<std::int64_t>(l.w.rows()));
+    write_pod(out, static_cast<std::int64_t>(l.w.cols()));
+    write_floats(out, l.bias.data(), l.bias.size());
+    write_floats(out, l.w.scales(0), l.w.rows() * l.w.groups());
+    // Codes include the zero padding to the group boundary, so the payload
+    // is one contiguous plane and the loader needs no per-row reassembly.
+    out.write(reinterpret_cast<const char*>(l.w.codes(0)),
+              static_cast<std::streamsize>(l.w.rows() * l.w.padded_cols()));
+  }
+  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+std::unique_ptr<QuantizedEncoder> load_quantized(const std::string& path) {
+  std::ifstream in = open_in(path);
+  check_magic(in, "DPQE", path);
+  const auto layers = read_pod<std::int64_t>(in, path);
+  DEEPPHI_CHECK_MSG(layers >= 1 && layers < 1024,
+                    "'" << path << "' has implausible layer count " << layers);
+  const auto group = static_cast<la::Index>(read_pod<std::int64_t>(in, path));
+  DEEPPHI_CHECK_MSG(group > 0 && group % la::quant::kGroupAlign == 0 &&
+                        group <= la::quant::kMaxGroup,
+                    "'" << path << "' has invalid quantization group "
+                        << group);
+  std::vector<QuantizedEncoder::Layer> loaded;
+  loaded.reserve(static_cast<std::size_t>(layers));
+  for (std::int64_t k = 0; k < layers; ++k) {
+    const auto units = static_cast<la::Index>(read_pod<std::int64_t>(in, path));
+    const auto inputs = static_cast<la::Index>(read_pod<std::int64_t>(in, path));
+    DEEPPHI_CHECK_MSG(units >= 1 && inputs >= 1 && units < (1 << 24) &&
+                          inputs < (1 << 24),
+                      "'" << path << "' layer " << k
+                          << " has implausible dims " << units << "x"
+                          << inputs);
+    DEEPPHI_CHECK_MSG(loaded.empty() || inputs == loaded.back().w.rows(),
+                      "'" << path << "' layer " << k << " does not chain");
+    QuantizedEncoder::Layer l;
+    l.w = la::quant::QuantizedWeights::allocate(units, inputs, group);
+    l.bias = la::Vector::uninitialized(units);
+    read_floats(in, l.bias.data(), units, path);
+    read_floats(in, l.w.scales(0), units * l.w.groups(), path);
+    in.read(reinterpret_cast<char*>(l.w.codes(0)),
+            static_cast<std::streamsize>(units * l.w.padded_cols()));
+    DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' truncated in payload");
+    // Derived group sums come from the codes, which also range-checks them.
+    l.w.rebuild_wsums();
+    loaded.push_back(std::move(l));
+  }
+  return std::make_unique<QuantizedEncoder>(std::move(loaded));
+}
+
 Dbn load_dbn(const std::string& path) {
   std::ifstream in = open_in(path);
   check_magic(in, "DPDB", path);
@@ -245,8 +302,9 @@ std::unique_ptr<core::Encoder> load_any(const std::string& path) {
         core::load_stacked_sae(path));
   if (magic == "DPDB")
     return std::make_unique<core::Dbn>(core::load_dbn(path));
+  if (magic == "DPQE") return core::load_quantized(path);
   throw util::Error("'" + path + "' has unknown checkpoint magic '" + magic +
-                    "'");
+                    "' (known: DPAE, DPRB, DPSA, DPDB, DPQE)");
 }
 
 }  // namespace deepphi::model_io

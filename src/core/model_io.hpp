@@ -5,6 +5,9 @@
 //
 //   "DPAE"/1 — SparseAutoencoder      "DPRB"/1 — Rbm
 //   "DPSA"/1 — StackedAutoencoder     "DPDB"/1 — Dbn
+//   "DPQE"/1 — QuantizedEncoder (groupwise int8; header, then per layer the
+//              dims, float bias, groupwise scales, and zero-padded codes —
+//              group sums are derived and rebuilt on load)
 #pragma once
 
 #include <memory>
@@ -12,6 +15,7 @@
 
 #include "core/dbn.hpp"
 #include "core/encoder.hpp"
+#include "core/quantized_encoder.hpp"
 #include "core/rbm.hpp"
 #include "core/sparse_autoencoder.hpp"
 #include "core/stacked_autoencoder.hpp"
@@ -30,13 +34,16 @@ StackedAutoencoder load_stacked_sae(const std::string& path);
 void save_model(const Dbn& model, const std::string& path);
 Dbn load_dbn(const std::string& path);
 
+void save_model(const QuantizedEncoder& model, const std::string& path);
+std::unique_ptr<QuantizedEncoder> load_quantized(const std::string& path);
+
 }  // namespace deepphi::core
 
 namespace deepphi::model_io {
 
 /// The 4-byte magic of the checkpoint at `path` ("DPAE" / "DPRB" / "DPSA" /
-/// "DPDB"); throws util::Error when the file cannot be opened or is too
-/// short to carry a header. Does not validate the version or payload.
+/// "DPDB" / "DPQE"); throws util::Error when the file cannot be opened or is
+/// too short to carry a header. Does not validate the version or payload.
 std::string sniff_magic(const std::string& path);
 
 /// Loads ANY checkpoint as its inference interface: sniffs the magic and

@@ -1,0 +1,90 @@
+#include "core/quantized_encoder.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/dbn.hpp"
+#include "core/rbm.hpp"
+#include "core/sparse_autoencoder.hpp"
+#include "core/stacked_autoencoder.hpp"
+#include "util/error.hpp"
+
+namespace deepphi::core {
+
+QuantizedEncoder::QuantizedEncoder(std::vector<Layer> layers)
+    : layers_(std::move(layers)) {
+  DEEPPHI_CHECK_MSG(!layers_.empty(), "quantized encoder needs >= 1 layer");
+  const la::Index group = layers_.front().w.group();
+  for (std::size_t k = 0; k < layers_.size(); ++k) {
+    const Layer& l = layers_[k];
+    DEEPPHI_CHECK_MSG(!l.w.empty(), "quantized layer " << k << " is empty");
+    DEEPPHI_CHECK_MSG(l.bias.size() == l.w.rows(),
+                      "layer " << k << " bias size " << l.bias.size()
+                               << " != units " << l.w.rows());
+    DEEPPHI_CHECK_MSG(l.w.group() == group,
+                      "layer " << k << " group " << l.w.group()
+                               << " != layer 0 group " << group);
+    if (k > 0)
+      DEEPPHI_CHECK_MSG(l.w.cols() == layers_[k - 1].w.rows(),
+                        "layer " << k << " input dim " << l.w.cols()
+                                 << " != layer " << k - 1 << " output dim "
+                                 << layers_[k - 1].w.rows());
+  }
+}
+
+std::unique_ptr<QuantizedEncoder> QuantizedEncoder::from(const Encoder& model,
+                                                         la::Index group) {
+  la::quant::check_group(group);
+  std::vector<Layer> layers;
+  auto push = [&](const la::Matrix& w, const la::Vector& bias) {
+    Layer l;
+    l.w = la::quant::QuantizedWeights::quantize(w, group);
+    l.bias = bias;
+    layers.push_back(std::move(l));
+  };
+  if (const auto* sae = dynamic_cast<const SparseAutoencoder*>(&model)) {
+    push(sae->w1(), sae->b1());
+  } else if (const auto* rbm = dynamic_cast<const Rbm*>(&model)) {
+    push(rbm->w(), rbm->c());
+  } else if (const auto* stack = dynamic_cast<const StackedAutoencoder*>(&model)) {
+    for (std::size_t k = 0; k < stack->layers(); ++k)
+      push(stack->layer(k).w1(), stack->layer(k).b1());
+  } else if (const auto* dbn = dynamic_cast<const Dbn*>(&model)) {
+    for (std::size_t k = 0; k < dbn->layers(); ++k)
+      push(dbn->layer(k).w(), dbn->layer(k).c());
+  } else if (dynamic_cast<const QuantizedEncoder*>(&model) != nullptr) {
+    throw util::Error("model is already int8-quantized");
+  } else {
+    throw util::Error("cannot quantize encoder type: " + model.describe());
+  }
+  return std::make_unique<QuantizedEncoder>(std::move(layers));
+}
+
+void QuantizedEncoder::encode(const la::Matrix& x, la::Matrix& out) const {
+  DEEPPHI_CHECK_MSG(x.cols() == input_dim(),
+                    "input dim " << x.cols() << " != " << input_dim());
+  // Per-call workspaces keep encode() const and concurrently callable.
+  la::quant::QuantizedActivations xq;
+  la::Matrix current;
+  const la::Matrix* in = &x;
+  for (std::size_t k = 0; k < layers_.size(); ++k) {
+    const Layer& l = layers_[k];
+    xq.quantize(*in, l.w.group());
+    la::Matrix next;
+    la::quant::encode_sigmoid(xq, l.w, l.bias, next);
+    current = std::move(next);
+    in = &current;
+  }
+  out = std::move(current);
+}
+
+std::string QuantizedEncoder::describe() const {
+  std::ostringstream os;
+  os << "Int8 Quantized Encoder " << input_dim();
+  for (const Layer& l : layers_) os << " -> " << l.w.rows();
+  os << " (" << layers_.size() << (layers_.size() == 1 ? " layer" : " layers")
+     << ", group " << group() << ")";
+  return os.str();
+}
+
+}  // namespace deepphi::core

@@ -101,7 +101,19 @@ bool parse_tier(const std::string& name, Tier& out) {
 }
 
 bool tier_available(Tier t) {
-  return cpu_supports(t) && table_for(t) != nullptr;
+  const KernelTable* table = table_for(t);
+  if (!cpu_supports(t) || table == nullptr) return false;
+  if (table->needs_avx512_vnni) {
+    // The TU was compiled with BW+VNNI instructions (real vpdpbusd); an
+    // AVX-512F-only machine must not bind it.
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vnni");
+#else
+    return false;
+#endif
+  }
+  return true;
 }
 
 Tier best_available_tier() {

@@ -40,8 +40,9 @@
 namespace deepphi::la::simd {
 
 /// Dispatch tiers, widest last. kAvx2 requires AVX2 + FMA; kAvx512 requires
-/// AVX-512F (AVX-512BW is detected and reported but not required — the
-/// float kernels only need F-level masks and arithmetic).
+/// AVX-512F, plus BW+VNNI when its table was compiled with the real
+/// vpdpbusd int8 kernel (KernelTable::needs_avx512_vnni — the float kernels
+/// only need F-level masks and arithmetic).
 enum class Tier : std::uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
 inline constexpr int kNumTiers = 3;
 
@@ -97,6 +98,26 @@ struct KernelTable {
   /// exact, so lane sums are bit-identical on every tier), then one fixed
   /// pairwise tree. Same result for W=1/8/16 hardware.
   double (*dot8)(const float* x, const float* y, std::int64_t n) = nullptr;
+
+  /// Groupwise int8 dot (the quantized-inference kernel, docs/simd.md).
+  /// `xq` holds u8 activation codes in [0,127], `wq` s8 weight codes in
+  /// [-127,127]; both are `groups * group` bytes, zero-padded. Per group g it
+  /// accumulates acc_g = sum_j xq[j]*wq[j] exactly in int32 (group <= 65536
+  /// keeps that safe), corrects the activation zero point with the
+  /// precomputed code sums (`wsum[g] = sum_j wq[j]`) in int64, and combines
+  /// r = fma(scales[g], float(acc_g - zp*wsum[g]), r) in ascending group
+  /// order with scalar std::fma. Integer accumulation is exact on every tier
+  /// and the float combine is a fixed scalar sequence, so the result is
+  /// bitwise identical across tiers by construction.
+  float (*quant_dot)(const std::uint8_t* xq, const std::int8_t* wq,
+                     const float* scales, const std::int32_t* wsum,
+                     std::int64_t groups, std::int64_t group,
+                     std::int32_t zp) = nullptr;
+
+  /// True when this table was compiled with AVX-512BW+VNNI instructions
+  /// (real vpdpbusd in quant_dot). tier_available() then additionally
+  /// requires those CPUID bits, so an F-only machine never binds it.
+  bool needs_avx512_vnni = false;
 };
 
 /// True when `t` can run on this CPU (compiled in AND CPUID-supported).

@@ -1,6 +1,9 @@
 // AVX-512F dispatch tier. This translation unit alone is compiled with
 // -mavx512f (which pulls in AVX2/FMA as prerequisites) plus
-// -ffp-contract=off; everything vector goes through the Avx512Ops policy.
+// -ffp-contract=off; when the compiler also accepts -mavx512bw
+// -mavx512vnni the int8 quant_dot kernel uses the real vpdpbusd and the
+// table is flagged needs_avx512_vnni so the dispatcher gates the tier on
+// those CPUID bits. Everything vector goes through the Avx512Ops policy.
 // Without the flags (non-x86 host) the getter returns nullptr and the
 // dispatcher skips the tier.
 
@@ -40,8 +43,15 @@ double dot8_avx512(const float* x, const float* y, std::int64_t n) {
 }  // namespace
 
 const KernelTable* avx512_table() {
-  static const KernelTable table =
-      make_table<Avx512Ops>(Tier::kAvx512, &dot8_avx512);
+  static const KernelTable table = [] {
+    KernelTable t = make_table<Avx512Ops>(Tier::kAvx512, &dot8_avx512);
+#if defined(__AVX512VNNI__) && defined(__AVX512BW__)
+    // quant_dot uses the real vpdpbusd; the dispatcher must gate this tier
+    // on the BW+VNNI CPUID bits, not just AVX-512F.
+    t.needs_avx512_vnni = true;
+#endif
+    return t;
+  }();
   return &table;
 }
 

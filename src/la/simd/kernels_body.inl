@@ -10,6 +10,7 @@
 // nothing (it opens its own namespace).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "la/simd/dispatch.hpp"
@@ -224,6 +225,36 @@ inline double combine8(const double lanes[8]) {
          ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
 }
 
+// ---------------------------------------------------------------------------
+// Groupwise int8 dot (quantized inference, la/quant.hpp). Per group:
+// exact int32 dpbusd accumulation over `group` zero-padded code bytes, then
+// the int64 zero-point correction and one scalar std::fma into the running
+// float result, in ascending group order. Every arithmetic step is either
+// exact integer or a fixed scalar float sequence, so tiers agree bitwise no
+// matter their vector width (dispatch.hpp, "Numerical contract").
+// ---------------------------------------------------------------------------
+template <class O>
+float quant_dot_k(const std::uint8_t* xq, const std::int8_t* wq,
+                  const float* scales, const std::int32_t* wsum,
+                  int64_t groups, int64_t group, std::int32_t zp) {
+  constexpr int64_t kStep = 4 * O::WI;  // code bytes per dpbusd step
+  float r = 0.0f;
+  for (int64_t g = 0; g < groups; ++g) {
+    const std::uint8_t* a = xq + g * group;
+    const std::int8_t* b = wq + g * group;
+    typename O::VI acc = O::izero();
+    // The layout contract (quant.hpp) pads rows to a multiple of the group
+    // size and keeps the group a multiple of 64 bytes, so this loop needs no
+    // tail handling on any tier (kStep divides 64 for WI <= 16).
+    for (int64_t j = 0; j < group; j += kStep) acc = O::dpbusd(acc, a + j, b + j);
+    const std::int64_t s = static_cast<std::int64_t>(O::ireduce(acc)) -
+                           static_cast<std::int64_t>(zp) *
+                               static_cast<std::int64_t>(wsum[g]);
+    r = std::fma(scales[g], static_cast<float>(s), r);
+  }
+  return r;
+}
+
 template <class Ops>
 KernelTable make_table(Tier tier, double (*dot8)(const float*, const float*,
                                                  int64_t)) {
@@ -241,6 +272,7 @@ KernelTable make_table(Tier tier, double (*dot8)(const float*, const float*,
   t.dsigmoid_mul = &dsigmoid_mul_k<Ops>;
   t.axpy = &axpy_k<Ops>;
   t.dot8 = dot8;
+  t.quant_dot = &quant_dot_k<Ops>;
   return t;
 }
 

@@ -13,6 +13,23 @@
 // operation sequence, lanes therefore compute bit-identical floats on every
 // tier. Do not add an op whose scalar and vector forms can round
 // differently.
+//
+// Each policy also carries an int8 sub-policy for the quantized inference
+// kernels (la/quant.hpp): VI is a vector of WI int32 accumulator lanes and
+// dpbusd() performs the VNNI-class u8×s8 multiply-accumulate — for each lane
+// i, acc[i] += Σ_{j<4} a[4i+j]·b[4i+j] over 4·WI code bytes. Integer
+// arithmetic is exact, so any lane count and any reduction order produce the
+// same int32 sum; cross-tier parity for the int8 kernels is therefore free
+// as long as the float dequantization runs the same scalar sequence
+// everywhere (see quant_dot_k in kernels_body.inl).
+//
+// On AVX2 dpbusd is emulated with the classic madd pair
+// (maddubs u8×s8 → s16, madd ×1 → s32). maddubs SATURATES the s16 pair sum;
+// the quantizer therefore clamps activation codes to 7 bits ([0, 127], see
+// la/quant.hpp), which bounds a pair at 2·127·127 = 32258 < 32767 so the
+// emulation is exact. The AVX-512 tier uses the real vpdpbusd when the TU is
+// compiled with BW+VNNI (the dispatcher then gates the tier on those CPUID
+// bits); an F-only build falls back to the 256-bit emulation.
 #pragma once
 
 #include <bit>
@@ -63,6 +80,17 @@ struct ScalarOps {
     const std::int32_t bits = (static_cast<std::int32_t>(n) + 127) << 23;
     return std::bit_cast<float>(bits);
   }
+
+  // --- int8 sub-policy (reference semantics) ---
+  using VI = std::int32_t;
+  static constexpr int WI = 1;
+  static VI izero() { return 0; }
+  static VI dpbusd(VI acc, const std::uint8_t* a, const std::int8_t* b) {
+    for (int j = 0; j < 4; ++j)
+      acc += static_cast<std::int32_t>(a[j]) * static_cast<std::int32_t>(b[j]);
+    return acc;
+  }
+  static std::int32_t ireduce(VI acc) { return acc; }
 };
 
 // ---------------------------------------------------------------------------
@@ -110,6 +138,29 @@ struct Avx2Ops {
     const __m256i bits =
         _mm256_slli_epi32(_mm256_add_epi32(i, _mm256_set1_epi32(127)), 23);
     return _mm256_castsi256_ps(bits);
+  }
+
+  // --- int8 sub-policy: vpdpbusd emulated with the madd pair. Exact for
+  // 7-bit activation codes (see the header comment). ---
+  using VI = __m256i;
+  static constexpr int WI = 8;
+  static VI izero() { return _mm256_setzero_si256(); }
+  static VI dpbusd(VI acc, const std::uint8_t* a, const std::int8_t* b) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const __m256i pairs = _mm256_maddubs_epi16(va, vb);  // u8×s8 → s16 pairs
+    const __m256i quads =
+        _mm256_madd_epi16(pairs, _mm256_set1_epi16(1));  // s16 pairs → s32
+    return _mm256_add_epi32(acc, quads);
+  }
+  static std::int32_t ireduce(VI acc) {
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(s);
   }
 };
 #endif  // __AVX2__ && __FMA__
@@ -160,6 +211,31 @@ struct Avx512Ops {
         _mm512_slli_epi32(_mm512_add_epi32(i, _mm512_set1_epi32(127)), 23);
     return _mm512_castsi512_ps(bits);
   }
+
+#if defined(__AVX512VNNI__) && defined(__AVX512BW__)
+  // --- int8 sub-policy: the real 512-bit vpdpbusd. The dispatcher gates
+  // this tier on the BW+VNNI CPUID bits when the TU is built this way
+  // (KernelTable::needs_avx512_vnni). ---
+  using VI = __m512i;
+  static constexpr int WI = 16;
+  static VI izero() { return _mm512_setzero_si512(); }
+  static VI dpbusd(VI acc, const std::uint8_t* a, const std::int8_t* b) {
+    return _mm512_dpbusd_epi32(acc, _mm512_loadu_si512(a),
+                               _mm512_loadu_si512(b));
+  }
+  static std::int32_t ireduce(VI acc) { return _mm512_reduce_add_epi32(acc); }
+#else
+  // F-only build: no byte-granularity 512-bit integer ops exist below BW, so
+  // this tier runs the 256-bit madd-pair emulation (AVX2 is an architectural
+  // prerequisite of AVX-512F, so Avx2Ops exists in this TU).
+  using VI = Avx2Ops::VI;
+  static constexpr int WI = Avx2Ops::WI;
+  static VI izero() { return Avx2Ops::izero(); }
+  static VI dpbusd(VI acc, const std::uint8_t* a, const std::int8_t* b) {
+    return Avx2Ops::dpbusd(acc, a, b);
+  }
+  static std::int32_t ireduce(VI acc) { return Avx2Ops::ireduce(acc); }
+#endif
 };
 #endif  // __AVX512F__
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/quantized_encoder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "util/error.hpp"
@@ -38,6 +39,7 @@ InferenceServer::InferenceServer(const core::Encoder& model, ServeConfig config)
         "serve_config",
         {TelemetryField::str("schema", kServeSchema),
          TelemetryField::str("model", model_.describe()),
+         TelemetryField::str("precision", precision()),
          TelemetryField::integer("input_dim", model_.input_dim()),
          TelemetryField::integer("output_dim", model_.output_dim()),
          TelemetryField::integer("max_batch", config_.max_batch),
@@ -235,6 +237,12 @@ void InferenceServer::emit_summary() {
        TelemetryField::num("latency_p95_s", s.latency.p95_s),
        TelemetryField::num("latency_p99_s", s.latency.p99_s),
        TelemetryField::num("latency_max_s", s.latency.max_s)});
+}
+
+const char* InferenceServer::precision() const {
+  return dynamic_cast<const core::QuantizedEncoder*>(&model_) != nullptr
+             ? "int8"
+             : "fp32";
 }
 
 ServerStats InferenceServer::stats() const {

@@ -109,6 +109,11 @@ class InferenceServer {
   const ServeConfig& config() const { return config_; }
   const core::Encoder& model() const { return model_; }
 
+  /// "int8" when the served model is a QuantizedEncoder, else "fp32" —
+  /// recorded in the serve_config telemetry record and surfaced by the
+  /// serving CLI/bench so snapshots are self-describing.
+  const char* precision() const;
+
   /// Requests currently waiting in the queue (tests, monitoring).
   std::size_t queue_depth() const { return queue_.size(); }
 

@@ -1,7 +1,8 @@
 // deepphi_serve — batched inference serving of any checkpoint.
 //
-// Loads a checkpoint through model_io::load_any (DPAE / DPRB / DPSA / DPDB,
-// magic-sniffed), stands up a serve::InferenceServer, and drives it with an
+// Loads a checkpoint through model_io::load_any (DPAE / DPRB / DPSA / DPDB /
+// DPQE, magic-sniffed), stands up a serve::InferenceServer, and drives it
+// with an
 // open-loop request stream: either a synthetic arrival process at a given
 // rate (Poisson by default) or a replayed trace of arrival offsets. Prints
 // the latency/throughput summary and can write "deepphi.serve.v1" JSONL
@@ -17,6 +18,10 @@
 //   # batching sensitivity: the paper's Fig. 9 lesson, on the serving path
 //   deepphi_serve --model=sae.dpae --rate=5000 --max-batch=1
 //   deepphi_serve --model=sae.dpae --rate=5000 --max-batch=64
+//
+//   # int8 quantized serving (on-the-fly, or from a deepphi_quantize .dpqe)
+//   deepphi_serve --model=sae.dpae --precision=int8 --rate=5000
+//   deepphi_serve --model=sae.dpqe --rate=5000
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -125,7 +130,8 @@ la::Matrix build_inputs(const util::Options& options, la::Index dim,
 
 int run(int argc, char** argv) {
   util::Options options = util::Options::parse(argc, argv);
-  options.declare("model", "checkpoint path (.dpae/.dprb/.dpsa/.dpdb)");
+  options.declare("model",
+                  "checkpoint path (.dpae/.dprb/.dpsa/.dpdb/.dpqe)");
   options.declare("rate", "synthetic open-loop arrival rate, requests/s",
                   "2000");
   options.declare("requests", "synthetic requests to send", "4000");
@@ -145,6 +151,10 @@ int run(int argc, char** argv) {
                   "1024");
   options.declare("seed", "random seed (arrivals and synthetic payloads)",
                   "42");
+  options.declare("precision",
+                  "serving precision: auto | fp32 | int8. auto serves the "
+                  "checkpoint as stored; int8 quantizes a float checkpoint "
+                  "on the fly (see docs/serving.md)", "auto");
   options.declare("telemetry",
                   "write deepphi.serve.v1 JSONL (per-batch + summary) to "
                   "this path");
@@ -166,7 +176,27 @@ int run(int argc, char** argv) {
 
   std::unique_ptr<core::Encoder> model =
       model_io::load_any(options.get_string("model"));
-  std::printf("serving %s\n", model->describe().c_str());
+  const std::string precision = options.get_string("precision");
+  const bool loaded_int8 =
+      dynamic_cast<const core::QuantizedEncoder*>(model.get()) != nullptr;
+  if (precision == "int8") {
+    if (!loaded_int8)
+      model = core::QuantizedEncoder::from(*model);  // quantize on the fly
+  } else if (precision == "fp32") {
+    DEEPPHI_CHECK_MSG(!loaded_int8,
+                      "--precision=fp32 cannot serve an int8 checkpoint; "
+                      "re-serve the original float model");
+  } else {
+    DEEPPHI_CHECK_MSG(precision == "auto", "unknown --precision '"
+                                               << precision
+                                               << "' (auto|fp32|int8)");
+  }
+  const char* served_precision =
+      dynamic_cast<const core::QuantizedEncoder*>(model.get()) != nullptr
+          ? "int8"
+          : "fp32";
+  std::printf("serving %s [%s]\n", model->describe().c_str(),
+              served_precision);
 
   const std::vector<double> schedule = build_schedule(options);
   la::Matrix inputs = build_inputs(options, model->input_dim(),
@@ -185,6 +215,7 @@ int run(int argc, char** argv) {
     telemetry->emit_run_header(
         "deepphi_serve",
         {TelemetryField::str("model", model->describe()),
+         TelemetryField::str("precision", served_precision),
          TelemetryField::str("simd_tier",
                              la::simd::tier_name(la::simd::active_tier())),
          TelemetryField::integer("requests",
