@@ -13,10 +13,15 @@
 #  - quant         -> BENCH_quant.json: bench_quant --json — served rows/s
 #                     fp32 vs int8 at batch 64 on Fig. 7-class shapes, with
 #                     the encode-accuracy delta.
+#  - serve_tail    -> BENCH_serve_tail.json: bench_serve_tail --json — the
+#                     lock-free latency histogram vs the retired sort-under-
+#                     mutex recorder (record ns/op, contended throughput
+#                     under a stats poller) and open-loop serving p99 with a
+#                     live stats endpoint scraping.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [name...]
 #   build-dir defaults to "build"; names default to all of
-#   simd data_parallel quant.
+#   simd data_parallel quant serve_tail.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +29,7 @@ BUILD_DIR="${1:-build}"
 shift $(( $# > 0 ? 1 : 0 ))
 NAMES=("$@")
 if [ ${#NAMES[@]} -eq 0 ]; then
-  NAMES=(simd data_parallel quant)
+  NAMES=(simd data_parallel quant serve_tail)
 fi
 
 TARGETS=(deepphi_json_check)
@@ -33,7 +38,8 @@ for name in "${NAMES[@]}"; do
     simd)          TARGETS+=(bench_micro_kernels bench_gemm_fusion) ;;
     data_parallel) TARGETS+=(bench_data_parallel) ;;
     quant)         TARGETS+=(bench_quant) ;;
-    *) echo "unknown snapshot '$name' (known: simd data_parallel quant)" >&2
+    serve_tail)    TARGETS+=(bench_serve_tail) ;;
+    *) echo "unknown snapshot '$name' (known: simd data_parallel quant serve_tail)" >&2
        exit 2 ;;
   esac
 done
@@ -87,6 +93,13 @@ snapshot_quant() {
   local out="BENCH_quant.json"
   "$BUILD_DIR/bench/bench_quant" --seconds=1 --json="$out"
   validate "$out" --require=precision --require=speedup --expect=int8
+  echo "snapshot written to $out"
+}
+
+snapshot_serve_tail() {
+  local out="BENCH_serve_tail.json"
+  "$BUILD_DIR/bench/bench_serve_tail" --seconds=1 --json="$out"
+  validate "$out" --require=speedup_vs_mutex --require=p99_ms
   echo "snapshot written to $out"
 }
 

@@ -1,0 +1,101 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "util/json_writer.hpp"
+
+namespace deepphi::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for exposition lines.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void write_histogram_summary(util::JsonWriter& w,
+                             const HistogramSnapshot& s) {
+  w.begin_object();
+  w.member("count", s.count);
+  w.member("sum", s.sum);
+  w.member("min", s.min);
+  w.member("max", s.max);
+  w.member("mean", s.mean());
+  w.member("p50", s.quantile(0.50));
+  w.member("p95", s.quantile(0.95));
+  w.member("p99", s.quantile(0.99));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "deepphi_";
+  for (const char c : name)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  return out;
+}
+
+std::string prometheus_text() {
+  std::ostringstream os;
+  for (const MetricSample& m : metrics::snapshot()) {
+    const std::string pname = prometheus_name(m.name);
+    switch (m.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "# TYPE " << pname << "_total counter\n"
+           << pname << "_total " << fmt(m.value) << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "# TYPE " << pname << " gauge\n"
+           << pname << " " << fmt(m.value) << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        break;  // rendered below, with buckets
+    }
+  }
+  for (const HistogramSample& h : metrics::snapshot_histograms()) {
+    const std::string pname = prometheus_name(h.name);
+    os << "# TYPE " << pname << " histogram\n";
+    std::int64_t cum = 0;
+    for (std::size_t i = 0; i < h.snapshot.buckets.size(); ++i) {
+      if (h.snapshot.buckets[i] == 0) continue;
+      cum += h.snapshot.buckets[i];
+      os << pname << "_bucket{le=\""
+         << fmt(Histogram::bucket_upper(static_cast<int>(i))) << "\"} " << cum
+         << "\n";
+    }
+    os << pname << "_bucket{le=\"+Inf\"} " << cum << "\n"
+       << pname << "_sum " << fmt(h.snapshot.sum) << "\n"
+       << pname << "_count " << h.snapshot.count << "\n";
+  }
+  return os.str();
+}
+
+void write_registry_stats(util::JsonWriter& w) {
+  const std::vector<MetricSample> samples = metrics::snapshot();
+  w.key("counters");
+  w.begin_object();
+  for (const MetricSample& m : samples)
+    if (m.kind == MetricSample::Kind::kCounter) w.member(m.name, m.value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const MetricSample& m : samples)
+    if (m.kind == MetricSample::Kind::kGauge) w.member(m.name, m.value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const HistogramSample& h : metrics::snapshot_histograms()) {
+    w.key(h.name);
+    write_histogram_summary(w, h.snapshot);
+  }
+  w.end_object();
+}
+
+}  // namespace deepphi::obs

@@ -1,0 +1,38 @@
+// Text exposition of the metrics registry for the live stats endpoint:
+//  * prometheus_text() — Prometheus text format (v0.0.4): counters as
+//    `_total`, gauges as-is, histograms as cumulative `_bucket{le="..."}`
+//    series plus `_sum`/`_count`. Only buckets that contain samples are
+//    emitted (plus the mandatory `+Inf`), so a 5120-bucket histogram
+//    scrapes as a handful of lines.
+//  * write_registry_stats() — the registry portion of a `deepphi.stats.v1`
+//    JSON record: "counters"/"gauges" objects of name → value, and a
+//    "histograms" object of name → {count, sum, min, max, mean, p50, p95,
+//    p99}. The caller owns the enclosing document (serve::StatsServer adds
+//    server/window sections around it).
+//
+// Metric names keep their dotted spelling in JSON; Prometheus names are
+// sanitized (non-[a-zA-Z0-9_] → '_') and prefixed `deepphi_`.
+#pragma once
+
+#include <string>
+
+namespace deepphi::util {
+class JsonWriter;
+}
+
+namespace deepphi::obs {
+
+/// Renders every registered counter, gauge, and histogram in the Prometheus
+/// text format. Safe to call while other threads keep recording.
+std::string prometheus_text();
+
+/// Appends "counters", "gauges", and "histograms" members to an open JSON
+/// object on `w` (between begin_object() and end_object()).
+void write_registry_stats(util::JsonWriter& w);
+
+/// `deepphi_serve_stage_compute`-style spelling of a dotted metric name.
+std::string prometheus_name(const std::string& name);
+
+inline constexpr const char* kStatsSchema = "deepphi.stats.v1";
+
+}  // namespace deepphi::obs

@@ -1,0 +1,191 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace deepphi::obs {
+
+namespace {
+
+constexpr double kMinValue = 9.313225746154785e-10;  // 2^-30
+constexpr double kMaxValue = 1024.0;                 // 2^10
+
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  // Non-positive (and NaN) values clamp into the first bucket; the IEEE bit
+  // trick below needs a positive normal number.
+  if (!(v >= kMinValue)) return 0;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  const int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  if (e >= kMaxExp) return kBucketCount - 1;  // also +inf (e == 1024)
+  const int sub =
+      static_cast<int>((bits >> (52 - kSubBits)) & (kSubBuckets - 1));
+  return (e - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(int index) {
+  const int e = kMinExp + index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, e);
+}
+
+double Histogram::bucket_upper(int index) {
+  return index + 1 < kBucketCount ? bucket_lower(index + 1) : kMaxValue;
+}
+
+double Histogram::bucket_mid(int index) {
+  return 0.5 * (bucket_lower(index) + bucket_upper(index));
+}
+
+void Histogram::record(double v) {
+  if (!(v >= 0) || !std::isfinite(v)) v = v > 0 ? kMaxValue : 0;
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  double curmax = max_.load(std::memory_order_relaxed);
+  while (v > curmax &&
+         !max_.compare_exchange_weak(curmax, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kBucketCount);
+  for (int i = 0; i < kBucketCount; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count > 0 ? min_.load(std::memory_order_relaxed) : 0;
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  const std::int64_t total = bucket_total();
+  if (total <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total))));
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= rank) {
+      double v = Histogram::bucket_mid(static_cast<int>(i));
+      // Exact extremes are known; clamping makes single-bucket distributions
+      // and edge quantiles exact instead of midpoint-rounded.
+      if (min > 0 && max >= min) v = std::clamp(v, min, max);
+      return v;
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (buckets.empty()) buckets.resize(Histogram::kBucketCount);
+  DEEPPHI_CHECK_MSG(other.buckets.size() == buckets.size(),
+                    "merging histograms with different bucket layouts");
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  if (other.count > 0) {
+    min = count > 0 ? std::min(min, other.min) : other.min;
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramSnapshot HistogramSnapshot::since(
+    const HistogramSnapshot& earlier) const {
+  DEEPPHI_CHECK_MSG(earlier.buckets.size() == buckets.size(),
+                    "subtracting histograms with different bucket layouts");
+  HistogramSnapshot d;
+  d.buckets.resize(buckets.size());
+  int lo = -1, hi = -1;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::int64_t delta = buckets[i] - earlier.buckets[i];
+    d.buckets[i] = std::max<std::int64_t>(0, delta);
+    if (d.buckets[i] > 0) {
+      if (lo < 0) lo = static_cast<int>(i);
+      hi = static_cast<int>(i);
+    }
+  }
+  d.count = std::max<std::int64_t>(0, count - earlier.count);
+  d.sum = std::max(0.0, sum - earlier.sum);
+  // Interval extremes are only known to bucket resolution.
+  d.min = lo >= 0 ? Histogram::bucket_lower(lo) : 0;
+  d.max = hi >= 0 ? Histogram::bucket_upper(hi) : 0;
+  return d;
+}
+
+std::int64_t HistogramSnapshot::bucket_total() const {
+  std::int64_t total = 0;
+  for (const std::int64_t b : buckets) total += b;
+  return total;
+}
+
+RollingWindow::RollingWindow(const Histogram& source, double interval_s,
+                             std::size_t intervals)
+    : source_(source), interval_s_(interval_s), intervals_(intervals) {
+  DEEPPHI_CHECK_MSG(interval_s > 0, "window interval must be > 0");
+  DEEPPHI_CHECK_MSG(intervals >= 1, "window needs at least one interval");
+}
+
+void RollingWindow::advance(double now_s) {
+  if (!primed_) {
+    ring_.push_back(source_.snapshot());
+    next_tick_s_ = now_s + interval_s_;
+    primed_ = true;
+    return;
+  }
+  // Bounded catch-up: past intervals_+1 missed ticks every covered interval
+  // is stale anyway, so refill with the current state (full expiry).
+  std::size_t steps = 0;
+  while (now_s >= next_tick_s_ && steps <= intervals_ + 1) {
+    ring_.push_back(source_.snapshot());
+    next_tick_s_ += interval_s_;
+    ++steps;
+  }
+  if (now_s >= next_tick_s_) next_tick_s_ = now_s + interval_s_;
+  while (ring_.size() > intervals_ + 1) ring_.pop_front();
+}
+
+HistogramSnapshot RollingWindow::window() const {
+  if (ring_.size() < 2) {
+    HistogramSnapshot empty;
+    empty.buckets.resize(Histogram::kBucketCount);
+    return empty;
+  }
+  return ring_.back().since(ring_.front());
+}
+
+double RollingWindow::covered_seconds() const {
+  return ring_.size() < 2
+             ? 0
+             : static_cast<double>(ring_.size() - 1) * interval_s_;
+}
+
+double RollingWindow::rate_per_s() const {
+  const double s = covered_seconds();
+  return s > 0 ? static_cast<double>(window().count) / s : 0;
+}
+
+}  // namespace deepphi::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <list>
+#include <memory>
 #include <mutex>
 
 #include "util/error.hpp"
@@ -13,11 +14,17 @@ namespace {
 std::atomic<bool> g_metrics_enabled{true};
 
 struct Entry {
-  Entry(std::string n, MetricSample::Kind k) : name(std::move(n)), kind(k) {}
+  Entry(std::string n, MetricSample::Kind k) : name(std::move(n)), kind(k) {
+    if (kind == MetricSample::Kind::kHistogram)
+      histogram = std::make_unique<Histogram>();
+  }
   std::string name;
   MetricSample::Kind kind;
   Counter counter;
   Gauge gauge;
+  // Heap-allocated: a histogram is ~40 KB of buckets, which counters and
+  // gauges should not pay for.
+  std::unique_ptr<Histogram> histogram;
 };
 
 struct RegistryState {
@@ -41,7 +48,9 @@ Entry& find_or_create(const std::string& name, MetricSample::Kind kind) {
                         "metric '" << name << "' already registered as a "
                                    << (e.kind == MetricSample::Kind::kCounter
                                            ? "counter"
-                                           : "gauge"));
+                                       : e.kind == MetricSample::Kind::kGauge
+                                           ? "gauge"
+                                           : "histogram"));
       return e;
     }
   }
@@ -65,13 +74,37 @@ std::vector<MetricSample> snapshot() {
   std::vector<MetricSample> out;
   out.reserve(s.entries.size());
   for (const Entry& e : s.entries) {
-    const double v = e.kind == MetricSample::Kind::kCounter
-                         ? static_cast<double>(e.counter.value())
-                         : e.gauge.value();
+    double v = 0;
+    switch (e.kind) {
+      case MetricSample::Kind::kCounter:
+        v = static_cast<double>(e.counter.value());
+        break;
+      case MetricSample::Kind::kGauge:
+        v = e.gauge.value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        v = static_cast<double>(e.histogram->count());
+        break;
+    }
     out.push_back(MetricSample{e.name, e.kind, v});
   }
   std::sort(out.begin(), out.end(),
             [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<HistogramSample> snapshot_histograms() {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::vector<HistogramSample> out;
+  for (const Entry& e : s.entries) {
+    if (e.kind != MetricSample::Kind::kHistogram) continue;
+    out.push_back(HistogramSample{e.name, e.histogram->snapshot()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSample& a, const HistogramSample& b) {
               return a.name < b.name;
             });
   return out;
@@ -83,6 +116,7 @@ void reset_all() {
   for (Entry& e : s.entries) {
     e.counter.reset();
     e.gauge.reset();
+    if (e.histogram) e.histogram->reset();
   }
 }
 
@@ -102,6 +136,10 @@ Counter& counter(const std::string& name) {
 
 Gauge& gauge(const std::string& name) {
   return find_or_create(name, MetricSample::Kind::kGauge).gauge;
+}
+
+Histogram& histogram(const std::string& name) {
+  return *find_or_create(name, MetricSample::Kind::kHistogram).histogram;
 }
 
 }  // namespace deepphi::obs

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace deepphi::obs {
 
 namespace metrics {
@@ -65,19 +67,33 @@ class Gauge {
 ///   c.add();
 Counter& counter(const std::string& name);
 
-/// Likewise for gauges. A name registers as either a counter or a gauge,
-/// never both (conflicting re-registration throws util::Error).
+/// Likewise for gauges. A name registers as exactly one metric kind
+/// (conflicting re-registration throws util::Error).
 Gauge& gauge(const std::string& name);
+
+/// Likewise for histograms (see obs/histogram.hpp). record() on the returned
+/// reference is lock-free; storage lives for the process lifetime.
+Histogram& histogram(const std::string& name);
 
 struct MetricSample {
   std::string name;
-  enum class Kind { kCounter, kGauge } kind;
-  double value;  // counters widen to double for a uniform record
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  double value;  // counters widen to double; histograms report their count
+};
+
+/// Full-fidelity registry view of one histogram (quantiles, buckets).
+struct HistogramSample {
+  std::string name;
+  HistogramSnapshot snapshot;
 };
 
 namespace metrics {
-/// Copies out every registered metric, sorted by name.
+/// Copies out every registered metric, sorted by name. Histograms appear
+/// with their count as the value; use snapshot_histograms() for quantiles.
 std::vector<MetricSample> snapshot();
+
+/// Copies out every registered histogram (buckets and all), sorted by name.
+std::vector<HistogramSample> snapshot_histograms();
 
 /// Resets every counter and gauge to zero (registrations survive). Tests and
 /// per-run telemetry use this to scope deltas to one run.

@@ -107,12 +107,18 @@ void InferenceServer::batcher_loop() {
       inflight_cv_.wait(lock, [&] { return inflight_ < max_inflight_; });
     }
     std::vector<Request> batch;
+    const double collect_start = obs::Profiler::now_s();
     {
       DEEPPHI_PROFILE_SCOPE("serve.collect");
       batch = queue_.collect(static_cast<std::size_t>(config_.max_batch),
                              config_.max_delay_s);
     }
     if (batch.empty()) return;  // queue closed and drained
+    // Stage histogram: how long assembling this batch took (blocking for the
+    // first arrival plus the size-or-deadline wait).
+    static obs::Histogram& collect_hist =
+        obs::histogram("serve.stage.collect");
+    collect_hist.record(obs::Profiler::now_s() - collect_start);
 
     {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -151,6 +157,13 @@ void InferenceServer::run_batch(std::vector<Request> batch) {
   // wait in the batch.
   const double queue_wait = batch_start - batch.front().enqueue_s;
 
+  // Per-request queue wait: every request's own submit -> batch-start time
+  // (the oldest-only aggregate above feeds the legacy summary fields).
+  static obs::Histogram& queue_wait_hist =
+      obs::histogram("serve.stage.queue_wait");
+  for (const Request& r : batch)
+    queue_wait_hist.record(batch_start - r.enqueue_s);
+
   la::Matrix x = la::Matrix::uninitialized(rows, model_.input_dim());
   {
     DEEPPHI_PROFILE_SCOPE("serve.gather");
@@ -166,6 +179,9 @@ void InferenceServer::run_batch(std::vector<Request> batch) {
     const double t0 = obs::Profiler::now_s();
     model_.encode(x, out);
     compute_s = obs::Profiler::now_s() - t0;
+    static obs::Histogram& compute_hist =
+        obs::histogram("serve.stage.compute");
+    compute_hist.record(compute_s);
   } catch (...) {
     const std::exception_ptr err = std::current_exception();
     for (Request& r : batch) r.result.set_exception(err);
@@ -175,12 +191,19 @@ void InferenceServer::run_batch(std::vector<Request> batch) {
 
   {
     DEEPPHI_PROFILE_SCOPE("serve.scatter");
+    const double scatter_start = obs::Profiler::now_s();
+    static obs::Histogram& e2e_hist = obs::histogram("serve.latency");
     for (la::Index r = 0; r < rows; ++r) {
       Request& req = batch[static_cast<std::size_t>(r)];
       std::vector<float> result(out.row(r), out.row(r) + out.cols());
-      latency_.record(obs::Profiler::now_s() - req.enqueue_s);
+      const double e2e = obs::Profiler::now_s() - req.enqueue_s;
+      latency_.record(e2e);
+      e2e_hist.record(e2e);
       req.result.set_value(std::move(result));
     }
+    static obs::Histogram& scatter_hist =
+        obs::histogram("serve.stage.scatter");
+    scatter_hist.record(obs::Profiler::now_s() - scatter_start);
   }
   completed_.fetch_add(rows, std::memory_order_relaxed);
   compute_s_.fetch_add(compute_s, std::memory_order_relaxed);

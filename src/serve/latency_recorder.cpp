@@ -1,59 +1,24 @@
 #include "serve/latency_recorder.hpp"
 
-#include <algorithm>
-
 namespace deepphi::serve {
 
-namespace {
-
-double quantile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+LatencyRecorder::LatencyRecorder(std::size_t max_samples) {
+  (void)max_samples;  // compatibility no-op, see header
 }
 
-}  // namespace
-
-LatencyRecorder::LatencyRecorder(std::size_t max_samples)
-    : max_samples_(max_samples) {}
-
-void LatencyRecorder::record(double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++total_;
-  sum_s_ += seconds;
-  max_s_ = std::max(max_s_, seconds);
-  if (max_samples_ == 0 || samples_.size() < max_samples_) {
-    samples_.push_back(seconds);
-  } else {
-    // Deterministic stride-overwrite: cheap, and keeps a spread of old and
-    // new samples rather than only the most recent window.
-    samples_[static_cast<std::size_t>(total_) % max_samples_] = seconds;
-  }
-}
-
-std::int64_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return total_;
+LatencySummary summarize(const obs::HistogramSnapshot& snapshot) {
+  LatencySummary s;
+  s.count = snapshot.count;
+  s.mean_s = snapshot.mean();
+  s.p50_s = snapshot.quantile(0.50);
+  s.p95_s = snapshot.quantile(0.95);
+  s.p99_s = snapshot.quantile(0.99);
+  s.max_s = snapshot.max;
+  return s;
 }
 
 LatencySummary LatencyRecorder::summary() const {
-  std::vector<double> sorted;
-  LatencySummary s;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sorted = samples_;
-    s.count = total_;
-    s.mean_s = total_ > 0 ? sum_s_ / static_cast<double>(total_) : 0;
-    s.max_s = max_s_;
-  }
-  std::sort(sorted.begin(), sorted.end());
-  s.p50_s = quantile(sorted, 0.50);
-  s.p95_s = quantile(sorted, 0.95);
-  s.p99_s = quantile(sorted, 0.99);
-  return s;
+  return summarize(histogram_.snapshot());
 }
 
 }  // namespace deepphi::serve

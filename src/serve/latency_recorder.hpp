@@ -1,14 +1,19 @@
-// Thread-safe end-to-end latency accounting for the serving engine.
+// Thread-safe end-to-end latency accounting for the serving engine, backed
+// by obs::Histogram.
 //
-// Every completed request records one sample (submit → result-ready, on the
-// profiler's monotonic clock); summary() sorts a copy and reports the tail
-// quantiles the serving SLO argument is made in (p50/p95/p99). Kept separate
-// from obs::metrics because quantiles need the raw samples, not a gauge.
+// Historically this buffered up to 2^20 raw samples and sorted a copy under
+// a mutex in summary() — which meant every worker's record() stalled behind
+// any summary poll, the exact failure mode a live stats endpoint would
+// institutionalize. record() is now a lock-free histogram update (no mutex
+// anywhere in the per-request hot path) and summary() is an O(buckets) scan;
+// quantiles are bucket-resolved within ~1% relative error (see
+// obs/histogram.hpp) while count/mean/max stay exact. The API is unchanged
+// so existing callers and tests keep compiling.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace deepphi::serve {
 
@@ -23,25 +28,29 @@ struct LatencySummary {
 
 class LatencyRecorder {
  public:
-  /// Caps memory for long-running servers: once `max_samples` is reached,
-  /// new samples overwrite uniformly-spaced old slots (keeps the summary
-  /// representative without unbounded growth). 0 means unbounded.
-  explicit LatencyRecorder(std::size_t max_samples = 1 << 20);
+  /// `max_samples` is a vestige of the raw-sample implementation, kept so
+  /// existing call sites compile; the histogram is fixed-size regardless.
+  explicit LatencyRecorder(std::size_t max_samples = 0);
 
-  void record(double seconds);
+  /// Lock-free (a handful of relaxed atomic ops); safe from any thread.
+  void record(double seconds) { histogram_.record(seconds); }
 
-  /// Samples recorded so far (monotonic, unaffected by the cap).
-  std::int64_t count() const;
+  /// Samples recorded so far.
+  std::int64_t count() const { return histogram_.count(); }
 
+  /// p50/p95/p99 are histogram quantiles (≤ ~1% relative error);
+  /// count/mean/max are exact.
   LatencySummary summary() const;
 
+  /// The underlying histogram (rolling windows, exposition, tests).
+  const obs::Histogram& histogram() const { return histogram_; }
+
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
-  std::size_t max_samples_;
-  std::int64_t total_ = 0;
-  double sum_s_ = 0;
-  double max_s_ = 0;
+  obs::Histogram histogram_;
 };
+
+/// Summary of an arbitrary snapshot — shared by LatencyRecorder, the serving
+/// CLI's per-stage shutdown report, and the stats endpoint.
+LatencySummary summarize(const obs::HistogramSnapshot& snapshot);
 
 }  // namespace deepphi::serve

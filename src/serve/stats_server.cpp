@@ -1,0 +1,97 @@
+#include "serve/stats_server.hpp"
+
+#include <sstream>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "util/json_writer.hpp"
+
+namespace deepphi::serve {
+
+StatsServer::StatsServer(const StatsServerConfig& config)
+    : config_(config),
+      start_s_(obs::Profiler::now_s()),
+      window_(obs::histogram("serve.latency"), config.window_interval_s,
+              static_cast<std::size_t>(config.window_intervals)) {
+  window_.advance(start_s_);
+  listener_ = std::make_unique<util::HttpListener>(
+      config.port,
+      [this](const std::string& path) { return handle(path); });
+}
+
+StatsServer::~StatsServer() { stop(); }
+
+obs::HistogramSnapshot StatsServer::advance_window_locked() {
+  window_.advance(obs::Profiler::now_s());
+  const obs::HistogramSnapshot w = window_.window();
+  // Publish the windowed view as plain gauges so /metrics scrapers see the
+  // live tail, not just since-boot cumulative quantiles.
+  static obs::Gauge& p50 = obs::gauge("serve.window.p50_s");
+  static obs::Gauge& p95 = obs::gauge("serve.window.p95_s");
+  static obs::Gauge& p99 = obs::gauge("serve.window.p99_s");
+  static obs::Gauge& rate = obs::gauge("serve.window.rate_rps");
+  p50.set(w.quantile(0.50));
+  p95.set(w.quantile(0.95));
+  p99.set(w.quantile(0.99));
+  rate.set(window_.rate_per_s());
+  return w;
+}
+
+std::string StatsServer::render_metrics() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  advance_window_locked();
+  return obs::prometheus_text();
+}
+
+std::string StatsServer::render_stats_json() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const obs::HistogramSnapshot w = advance_window_locked();
+
+  std::ostringstream os;
+  util::JsonWriter writer(os);
+  writer.begin_object();
+  writer.member("schema", obs::kStatsSchema);
+  writer.member("uptime_s", obs::Profiler::now_s() - start_s_);
+  writer.key("server");
+  writer.begin_object();
+  writer.member("port", listener_ ? listener_->port() : config_.port);
+  writer.member("requests_served",
+                listener_ ? listener_->requests_served() : std::int64_t{0});
+  writer.end_object();
+  writer.key("window");
+  writer.begin_object();
+  writer.member("interval_s", window_.interval_seconds());
+  writer.member("intervals",
+                static_cast<std::int64_t>(window_.intervals()));
+  writer.member("covered_s", window_.covered_seconds());
+  writer.member("count", w.count);
+  writer.member("rate_rps", window_.rate_per_s());
+  writer.member("p50_s", w.quantile(0.50));
+  writer.member("p95_s", w.quantile(0.95));
+  writer.member("p99_s", w.quantile(0.99));
+  writer.end_object();
+  obs::write_registry_stats(writer);
+  writer.end_object();
+  os << "\n";
+  return os.str();
+}
+
+util::HttpListener::Response StatsServer::handle(const std::string& path) {
+  util::HttpListener::Response resp;
+  if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = render_metrics();
+  } else if (path == "/stats.json") {
+    resp.content_type = "application/json";
+    resp.body = render_stats_json();
+  } else if (path == "/" || path == "/healthz") {
+    resp.body = "deepphi stats endpoint: /metrics /stats.json\n";
+  } else {
+    resp.status = 404;
+    resp.body = "not found; try /metrics or /stats.json\n";
+  }
+  return resp;
+}
+
+}  // namespace deepphi::serve

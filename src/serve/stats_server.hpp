@@ -1,0 +1,69 @@
+// Live stats endpoint for the inference server: a util::HttpListener that
+// renders the process metrics registry on demand.
+//
+// Routes:
+//  * /metrics     — Prometheus text format (obs::prometheus_text()).
+//  * /stats.json  — one `deepphi.stats.v1` record: schema, uptime, server
+//                   info, a rolling-window view of serve.latency, and the
+//                   full registry (counters/gauges/histograms with
+//                   p50/p95/p99 summaries).
+//
+// Each scrape also advances the rolling window and publishes its live view
+// as gauges (serve.window.p50_s/p95_s/p99_s/rate_rps), so a Prometheus
+// scraper gets the windowed quantiles too, not just the cumulative ones.
+// Rendering runs on the listener's accept thread under a small mutex; the
+// serving hot path never blocks on it (histogram record() is lock-free).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/histogram.hpp"
+#include "util/http_listener.hpp"
+
+namespace deepphi::serve {
+
+struct StatsServerConfig {
+  int port = 0;                   ///< 0 = kernel-assigned (see port()).
+  double window_interval_s = 1.0; ///< rolling-window tick width
+  int window_intervals = 10;      ///< ticks retained (10 × 1s = last ~10s)
+};
+
+class StatsServer {
+ public:
+  explicit StatsServer(const StatsServerConfig& config = {});
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// The bound port.
+  int port() const { return listener_->port(); }
+
+  /// HTTP requests answered so far.
+  std::int64_t requests_served() const { return listener_->requests_served(); }
+
+  /// Stops the listener thread. Idempotent; also run by the destructor.
+  void stop() { listener_->stop(); }
+
+  /// Render the endpoint bodies directly (tests, shutdown summaries).
+  /// Both advance the rolling window first, like a real scrape.
+  std::string render_metrics();
+  std::string render_stats_json();
+
+ private:
+  util::HttpListener::Response handle(const std::string& path);
+  /// Advances the window to now and refreshes serve.window.* gauges.
+  /// Returns the current windowed view. Caller holds mutex_.
+  obs::HistogramSnapshot advance_window_locked();
+
+  StatsServerConfig config_;
+  double start_s_;
+  std::mutex mutex_;  ///< serializes window advance + rendering
+  obs::RollingWindow window_;
+  std::unique_ptr<util::HttpListener> listener_;
+};
+
+}  // namespace deepphi::serve

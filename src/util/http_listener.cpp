@@ -1,0 +1,210 @@
+#include "util/http_listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace deepphi::util {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+/// send() the whole buffer; MSG_NOSIGNAL so a client that hung up yields
+/// EPIPE instead of killing the process with SIGPIPE.
+bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void set_timeout(int fd, double seconds) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+HttpListener::HttpListener(int port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DEEPPHI_CHECK_MSG(listen_fd_ >= 0,
+                    "http: socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: cannot listen on 127.0.0.1:" + std::to_string(port) +
+                ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpListener::~HttpListener() { stop(); }
+
+std::int64_t HttpListener::requests_served() const {
+  return served_.load(std::memory_order_relaxed);
+}
+
+void HttpListener::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpListener::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Poll with a short timeout so stop() is noticed without needing a
+    // wake-up connection.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_timeout(fd, 2.0);
+
+    // Read until the end of the request headers (or a small cap — stats
+    // clients send one short GET line).
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.find("\n\n") == std::string::npos && req.size() < 8192) {
+      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r <= 0) break;
+      req.append(buf, static_cast<std::size_t>(r));
+    }
+
+    Response resp;
+    std::istringstream line(req.substr(0, req.find('\n')));
+    std::string method, target;
+    line >> method >> target;
+    if (method.empty() || target.empty()) {
+      resp.status = 400;
+      resp.body = "malformed request\n";
+    } else if (method != "GET") {
+      resp.status = 405;
+      resp.body = "only GET is supported\n";
+    } else {
+      const std::size_t query = target.find('?');
+      if (query != std::string::npos) target.resize(query);
+      try {
+        resp = handler_(target);
+      } catch (const std::exception& e) {
+        resp = Response{};
+        resp.status = 500;
+        resp.body = std::string("handler error: ") + e.what() + "\n";
+        DEEPPHI_WARN() << "http handler failed for " << target << ": "
+                       << e.what();
+      }
+    }
+
+    std::ostringstream head;
+    head << "HTTP/1.0 " << resp.status << " " << status_text(resp.status)
+         << "\r\nContent-Type: " << resp.content_type
+         << "\r\nContent-Length: " << resp.body.size()
+         << "\r\nConnection: close\r\n\r\n";
+    const std::string header = head.str();
+    if (send_all(fd, header.data(), header.size()))
+      send_all(fd, resp.body.data(), resp.body.size());
+    // Count before close: a client that sees EOF must also see the bump.
+    served_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+  }
+}
+
+std::string http_get(const std::string& host, int port, const std::string& path,
+                     double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DEEPPHI_CHECK_MSG(fd >= 0, "http: socket() failed: " << std::strerror(errno));
+  set_timeout(fd, timeout_s);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("http: bad host '" + host + "' (use a dotted IPv4 address)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("http: cannot connect to " + host + ":" +
+                std::to_string(port) + ": " + err);
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, req.data(), req.size())) {
+    ::close(fd);
+    throw Error("http: send failed to " + host + ":" + std::to_string(port));
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    response.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  DEEPPHI_CHECK_MSG(!response.empty(), "http: empty response from "
+                                           << host << ":" << port << path);
+  std::size_t body = response.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body == std::string::npos) {
+    body = response.find("\n\n");
+    skip = 2;
+  }
+  DEEPPHI_CHECK_MSG(body != std::string::npos,
+                    "http: malformed response from " << host << ":" << port);
+  const std::string status_line = response.substr(0, response.find('\n'));
+  DEEPPHI_CHECK_MSG(
+      status_line.find(" 200 ") != std::string::npos,
+      "http: " << host << ":" << port << path << " -> " << status_line);
+  return response.substr(body + skip);
+}
+
+}  // namespace deepphi::util

@@ -1,0 +1,75 @@
+// Minimal blocking HTTP/1.0 listener for the live stats endpoint — and the
+// matching one-shot client used by deepphi_top, tests, and benches.
+//
+// Deliberately tiny: GET only, loopback only, one connection served at a
+// time, `Connection: close` on every response. That is exactly what a stats
+// scrape needs (a poller every second or so) and nothing a real web server
+// needs; requests never touch the serving hot path — handlers run on the
+// listener's own accept thread.
+//
+//   util::HttpListener http(0, [](const std::string& path) {
+//     util::HttpListener::Response r;
+//     if (path == "/metrics") r.body = render();
+//     else r.status = 404;
+//     return r;
+//   });
+//   ... http.port() is the bound port (pass 0 to let the kernel pick) ...
+//
+// stop() (also the destructor) unblocks the accept loop and joins the
+// thread; in-flight handler calls finish first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace deepphi::util {
+
+class HttpListener {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  /// Called with the request path (e.g. "/stats.json", query string
+  /// stripped) for every GET; exceptions become 500 responses.
+  using Handler = std::function<Response(const std::string& path)>;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and starts the
+  /// accept thread. Throws util::Error when the bind fails.
+  HttpListener(int port, Handler handler);
+  ~HttpListener();
+
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  /// The actually bound port.
+  int port() const { return port_; }
+
+  /// Requests answered so far (any status).
+  std::int64_t requests_served() const;
+
+  /// Stops accepting, joins the accept thread. Idempotent.
+  void stop();
+
+ private:
+  void accept_loop();
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> served_{0};
+  std::thread thread_;
+};
+
+/// One-shot HTTP GET against 127.0.0.1-style hosts: connects, sends the
+/// request, reads to EOF, and returns the response body. Throws util::Error
+/// on connection failure, timeout (`timeout_s` covers connect and read), or
+/// a non-200 status.
+std::string http_get(const std::string& host, int port,
+                     const std::string& path, double timeout_s = 5.0);
+
+}  // namespace deepphi::util

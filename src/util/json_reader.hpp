@@ -1,0 +1,70 @@
+// Small recursive-descent JSON parser returning an immutable value tree.
+// Counterpart to util::JsonWriter; used by deepphi_top to digest
+// /stats.json, and by tests to check emitted records structurally instead
+// of by substring.
+//
+//   util::JsonValue v = util::parse_json(body);
+//   double p99 = v.at("histograms").at("serve.latency").at("p99").as_number();
+//
+// Strict where it matters (rejects trailing garbage, malformed escapes,
+// bad numbers — throws util::Error with a byte offset), minimal elsewhere:
+// numbers are doubles, \uXXXX escapes outside ASCII are passed through
+// UTF-8-encoded for the BMP only.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace deepphi::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Typed accessors; throw util::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member access. at() throws when missing; has() probes;
+  /// get(key) returns a null value when missing.
+  bool has(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+
+  /// Array element access with bounds checking.
+  const JsonValue& at(std::size_t index) const;
+  std::size_t size() const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document. Throws util::Error (with the byte
+/// offset of the problem) on any syntax error or trailing non-whitespace.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace deepphi::util

@@ -9,6 +9,7 @@
 #include <limits>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 
 #include "la/gemm.hpp"
 #include "la/matrix.hpp"
+#include "obs/exposition.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
@@ -26,6 +29,7 @@
 #include "util/error.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace deepphi {
@@ -475,6 +479,309 @@ TEST(Logging, ParsesLevelNames) {
   EXPECT_EQ(level, util::LogLevel::kOff);
   EXPECT_FALSE(util::parse_log_level("verbose", level));
   EXPECT_EQ(level, util::LogLevel::kOff);  // untouched on failure
+}
+
+// ----------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketGeometryRoundTrips) {
+  // Every probe value lands in a bucket whose [lower, upper) bracket holds
+  // it, and bucket indices are monotone in the value.
+  std::vector<double> probes;
+  for (double v = 1e-9; v < 1200.0; v *= 1.37) probes.push_back(v);
+  int prev_index = -1;
+  for (const double v : probes) {
+    const int i = obs::Histogram::bucket_index(v);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, obs::Histogram::kBucketCount);
+    if (v >= 9.4e-10 && v < 1024.0) {
+      EXPECT_LE(obs::Histogram::bucket_lower(i), v) << v;
+      EXPECT_GT(obs::Histogram::bucket_upper(i), v) << v;
+    }
+    EXPECT_GE(i, prev_index) << v;
+    prev_index = i;
+    const double mid = obs::Histogram::bucket_mid(i);
+    EXPECT_GE(mid, obs::Histogram::bucket_lower(i));
+    EXPECT_LE(mid, obs::Histogram::bucket_upper(i));
+  }
+  // Out-of-range and non-finite values clamp into the edge buckets.
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1e-15), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1e9),
+            obs::Histogram::kBucketCount - 1);
+}
+
+TEST(Histogram, TracksExactCountSumMinMax) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.snapshot().min, 0.0);
+  h.record(0.004);
+  h.record(0.001);
+  h.record(0.009);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 0.014);
+  EXPECT_DOUBLE_EQ(s.min, 0.001);
+  EXPECT_DOUBLE_EQ(s.max, 0.009);
+  EXPECT_NEAR(s.mean(), 0.014 / 3, 1e-12);
+  EXPECT_EQ(s.bucket_total(), 3);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.snapshot().min, 0.0);
+}
+
+TEST(Histogram, NonFiniteAndNegativeRecordsAreClampedNotLost) {
+  obs::Histogram h;
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.snapshot().bucket_total(), 3);
+}
+
+// Exact reference quantile with the same rank convention the histogram uses:
+// the smallest value with at least ceil(q * n) samples at or below it.
+double exact_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(sorted.size())))));
+  return sorted[rank - 1];
+}
+
+TEST(Histogram, QuantilesMatchExactSortWithinOneBucket) {
+  // One log-bucket is 1/128 wide (~0.78% relative); midpoint reporting makes
+  // the expected error half that. 1.6% leaves margin for rank rounding.
+  constexpr double kTol = 0.016;
+  util::Rng rng(7, 0x415);
+  struct Case {
+    const char* name;
+    std::vector<double> values;
+  };
+  std::vector<Case> cases(3);
+  cases[0].name = "uniform";
+  for (int i = 0; i < 20000; ++i)
+    cases[0].values.push_back(1e-4 + 4e-3 * rng.uniform());
+  cases[1].name = "lognormal";
+  for (int i = 0; i < 20000; ++i)
+    cases[1].values.push_back(1e-3 * std::exp(0.8 * rng.normal()));
+  cases[2].name = "adversarial";  // point masses + heavy far tail
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    cases[2].values.push_back(u < 0.49 ? 1e-4 : u < 0.98 ? 2.5e-3 : 1.9);
+  }
+  for (const Case& c : cases) {
+    obs::Histogram h;
+    for (const double v : c.values) h.record(v);
+    const obs::HistogramSnapshot s = h.snapshot();
+    for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+      const double exact = exact_quantile(c.values, q);
+      const double est = s.quantile(q);
+      EXPECT_NEAR(est, exact, kTol * exact)
+          << c.name << " q=" << q << " exact=" << exact << " est=" << est;
+    }
+    // Edge quantiles clamp to the exact observed extremes.
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), s.min);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), s.max);
+  }
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  obs::Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      util::Rng rng(17, static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(1e-4 * (1.0 + rng.uniform()));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.bucket_total(), s.count);  // no lost bucket increments
+  EXPECT_GE(s.min, 1e-4);
+  EXPECT_LE(s.max, 2e-4 + 1e-12);
+  EXPECT_GE(s.sum, s.min * static_cast<double>(s.count));
+  EXPECT_LE(s.sum, s.max * static_cast<double>(s.count));
+}
+
+TEST(HistogramSnapshot, MergeAccumulatesAndSinceSubtracts) {
+  obs::Histogram a, b;
+  a.record(0.001);
+  a.record(0.002);
+  b.record(0.1);
+  obs::HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_DOUBLE_EQ(merged.min, 0.001);
+  EXPECT_DOUBLE_EQ(merged.max, 0.1);
+  EXPECT_NEAR(merged.sum, 0.103, 1e-12);
+
+  const obs::HistogramSnapshot earlier = a.snapshot();
+  a.record(0.004);
+  a.record(0.005);
+  const obs::HistogramSnapshot delta = a.snapshot().since(earlier);
+  EXPECT_EQ(delta.count, 2);
+  EXPECT_NEAR(delta.sum, 0.009, 1e-12);
+  EXPECT_EQ(delta.bucket_total(), 2);
+  // Interval min/max are bucket-resolved.
+  EXPECT_NEAR(delta.min, 0.004, 0.004 / 64);
+  EXPECT_NEAR(delta.max, 0.005, 0.005 / 64);
+}
+
+TEST(Metrics, HistogramRegistersBesideCountersAndGauges) {
+  obs::Histogram& h = obs::histogram("test.hist_registry");
+  EXPECT_EQ(&h, &obs::histogram("test.hist_registry"));  // stable handle
+  h.reset();
+  h.record(0.25);
+  h.record(0.5);
+  EXPECT_THROW(obs::counter("test.hist_registry"), util::Error);
+  EXPECT_THROW(obs::gauge("test.hist_registry"), util::Error);
+
+  bool found = false;
+  for (const obs::MetricSample& m : obs::metrics::snapshot()) {
+    if (m.name != "test.hist_registry") continue;
+    found = true;
+    EXPECT_EQ(m.kind, obs::MetricSample::Kind::kHistogram);
+    EXPECT_DOUBLE_EQ(m.value, 2.0);  // histograms report their count
+  }
+  EXPECT_TRUE(found);
+
+  found = false;
+  for (const obs::HistogramSample& s : obs::metrics::snapshot_histograms()) {
+    if (s.name != "test.hist_registry") continue;
+    found = true;
+    EXPECT_EQ(s.snapshot.count, 2);
+    EXPECT_DOUBLE_EQ(s.snapshot.min, 0.25);
+  }
+  EXPECT_TRUE(found);
+}
+
+// -------------------------------------------------------------- RollingWindow
+
+TEST(RollingWindow, PrimesAfterFirstIntervalThenTracksDeltas) {
+  obs::Histogram h;
+  obs::RollingWindow window(h, /*interval_s=*/1.0, /*intervals=*/3);
+  window.advance(100.0);
+  h.record(0.001);
+  h.record(0.002);
+  EXPECT_EQ(window.window().count, 0);  // nothing covered yet
+  EXPECT_EQ(window.covered_seconds(), 0.0);
+
+  window.advance(101.0);  // first interval boundary
+  EXPECT_EQ(window.window().count, 2);
+  EXPECT_DOUBLE_EQ(window.covered_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(window.rate_per_s(), 2.0);
+
+  h.record(0.003);
+  window.advance(102.0);
+  EXPECT_EQ(window.window().count, 3);
+  EXPECT_DOUBLE_EQ(window.covered_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(window.rate_per_s(), 1.5);
+}
+
+TEST(RollingWindow, OldTrafficExpiresAsTheRingTurnsOver) {
+  obs::Histogram h;
+  obs::RollingWindow window(h, 1.0, 3);
+  window.advance(0.0);
+  h.record(0.5);  // burst in the first interval
+  window.advance(1.0);
+  EXPECT_EQ(window.window().count, 1);
+  // Three quiet intervals push the burst out of the window.
+  window.advance(2.0);
+  window.advance(3.0);
+  EXPECT_EQ(window.window().count, 1);  // still inside (3 intervals kept)
+  window.advance(4.0);
+  EXPECT_EQ(window.window().count, 0);  // expired
+  EXPECT_DOUBLE_EQ(window.covered_seconds(), 3.0);
+}
+
+TEST(RollingWindow, LongGapExpiresEverythingWithoutUnboundedCatchUp) {
+  obs::Histogram h;
+  obs::RollingWindow window(h, 1.0, 4);
+  window.advance(0.0);
+  h.record(0.5);
+  window.advance(1.0);
+  EXPECT_EQ(window.window().count, 1);
+  window.advance(1e9);  // a gap of ~31 years must not loop 1e9 times
+  EXPECT_EQ(window.window().count, 0);
+  h.record(0.25);
+  window.advance(1e9 + 1.0);
+  EXPECT_EQ(window.window().count, 1);
+}
+
+// --------------------------------------------------------------- Exposition
+
+TEST(Exposition, PrometheusNameSanitizes) {
+  EXPECT_EQ(obs::prometheus_name("serve.stage.queue_wait"),
+            "deepphi_serve_stage_queue_wait");
+  EXPECT_EQ(obs::prometheus_name("a-b c"), "deepphi_a_b_c");
+}
+
+TEST(Exposition, PrometheusTextCarriesAllThreeKinds) {
+  obs::counter("test.expo_counter").reset();
+  obs::counter("test.expo_counter").add(7);
+  obs::gauge("test.expo_gauge").set(1.5);
+  obs::Histogram& h = obs::histogram("test.expo_hist");
+  h.reset();
+  h.record(0.5);
+  h.record(0.5);
+  h.record(2.0);
+
+  const std::string text = obs::prometheus_text();
+  EXPECT_NE(text.find("# TYPE deepphi_test_expo_counter_total counter\n"
+                      "deepphi_test_expo_counter_total 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE deepphi_test_expo_gauge gauge\n"
+                      "deepphi_test_expo_gauge 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE deepphi_test_expo_hist histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: the 0.5 bucket holds 2, +Inf holds all 3.
+  std::ostringstream bucket;
+  bucket << "deepphi_test_expo_hist_bucket{le=\"";
+  EXPECT_NE(text.find(bucket.str()), std::string::npos);
+  EXPECT_NE(text.find("deepphi_test_expo_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepphi_test_expo_hist_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("deepphi_test_expo_hist_count 3\n"), std::string::npos);
+
+  // Cumulative bucket counts are non-decreasing down the series.
+  std::istringstream lines(text);
+  std::string line;
+  long long prev = -1;
+  while (std::getline(lines, line)) {
+    if (line.rfind("deepphi_test_expo_hist_bucket", 0) != 0) continue;
+    const long long cum = std::stoll(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(cum, prev) << line;
+    prev = cum;
+  }
+  EXPECT_EQ(prev, 3);
+}
+
+TEST(Exposition, RegistryStatsSectionIsValidJson) {
+  obs::Histogram& h = obs::histogram("test.expo_json_hist");
+  h.reset();
+  for (int i = 1; i <= 100; ++i) h.record(1e-3 * i);
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  obs::write_registry_stats(w);
+  w.end_object();
+  ASSERT_TRUE(w.done());
+  const std::string text = os.str();
+  ASSERT_TRUE(util::json_is_valid(text)) << text;
+  for (const char* key : {"counters", "gauges", "histograms",
+                          "test.expo_json_hist", "p50", "p95", "p99"}) {
+    EXPECT_NE(text.find(std::string("\"") + key + "\""), std::string::npos)
+        << key;
+  }
+  // The summary numbers for the known ramp are sane.
+  EXPECT_NE(text.find("\"count\":100"), std::string::npos);
 }
 
 }  // namespace

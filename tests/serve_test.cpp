@@ -8,6 +8,7 @@
 // count — la/gemm.hpp), so callers can move between offline and served
 // inference without any numeric drift.
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <fstream>
@@ -21,9 +22,15 @@
 #include "core/deep_autoencoder.hpp"
 #include "core/model_io.hpp"
 #include "core/softmax.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
 #include "serve/inference_server.hpp"
+#include "serve/latency_recorder.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/stats_server.hpp"
 #include "util/error.hpp"
+#include "util/http_listener.hpp"
+#include "util/json_reader.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -527,6 +534,160 @@ TEST(InferenceServer, DestructorShutsDownCleanly) {
     fut = server.submit(std::vector<float>(6, 1.0f));
   }  // destructor drains
   EXPECT_EQ(fut.get().size(), 4u);
+}
+
+// ------------------------------------------------------------ LatencyRecorder
+
+TEST(LatencyRecorder, SummaryMatchesRecordedDistribution) {
+  serve::LatencyRecorder recorder;
+  // 1..1000 ms ramp: quantiles and extremes are known in closed form.
+  for (int i = 1; i <= 1000; ++i) recorder.record(1e-3 * i);
+  EXPECT_EQ(recorder.count(), 1000);
+  const serve::LatencySummary s = recorder.summary();
+  EXPECT_EQ(s.count, 1000);
+  EXPECT_NEAR(s.mean_s, 0.5005, 1e-9);  // exact
+  EXPECT_DOUBLE_EQ(s.max_s, 1.0);       // exact
+  EXPECT_NEAR(s.p50_s, 0.500, 0.500 * 0.016);
+  EXPECT_NEAR(s.p95_s, 0.950, 0.950 * 0.016);
+  EXPECT_NEAR(s.p99_s, 0.990, 0.990 * 0.016);
+}
+
+TEST(LatencyRecorder, SummarizeFreeFunctionMatchesMemberSummary) {
+  serve::LatencyRecorder recorder;
+  for (int i = 1; i <= 64; ++i) recorder.record(1e-4 * i);
+  const serve::LatencySummary a = recorder.summary();
+  const serve::LatencySummary b =
+      serve::summarize(recorder.histogram().snapshot());
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.p50_s, b.p50_s);
+  EXPECT_DOUBLE_EQ(a.p99_s, b.p99_s);
+  EXPECT_DOUBLE_EQ(a.max_s, b.max_s);
+}
+
+TEST(LatencyRecorder, RecordIsSafeUnderConcurrentSummaryPolling) {
+  serve::LatencyRecorder recorder;
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) {
+      const serve::LatencySummary s = recorder.summary();
+      EXPECT_GE(s.max_s, s.p50_s - 1e-12);
+    }
+  });
+  std::vector<std::thread> writers;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 20000;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder] {
+      for (int i = 1; i <= kPerWriter; ++i) recorder.record(1e-6 * i);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  poller.join();
+  EXPECT_EQ(recorder.count(), kWriters * kPerWriter);
+  EXPECT_EQ(recorder.histogram().snapshot().bucket_total(),
+            kWriters * kPerWriter);
+}
+
+// ------------------------------------------------------- stage instrumentation
+
+TEST(InferenceServer, StageHistogramsPopulateDuringServing) {
+  const auto before_queue =
+      obs::histogram("serve.stage.queue_wait").snapshot();
+  const auto before_collect = obs::histogram("serve.stage.collect").snapshot();
+  const auto before_compute = obs::histogram("serve.stage.compute").snapshot();
+  const auto before_scatter = obs::histogram("serve.stage.scatter").snapshot();
+  const auto before_e2e = obs::histogram("serve.latency").snapshot();
+
+  const core::SparseAutoencoder model(core::SaeConfig{8, 4}, 21);
+  constexpr int kRequests = 64;
+  {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 16;
+    cfg.max_delay_s = 0.001;
+    serve::InferenceServer server(model, cfg);
+    std::vector<std::future<std::vector<float>>> futures;
+    for (int i = 0; i < kRequests; ++i)
+      futures.push_back(server.submit(std::vector<float>(8, 0.5f)));
+    for (auto& f : futures) f.get();
+    server.shutdown();
+  }
+
+  const auto queue =
+      obs::histogram("serve.stage.queue_wait").snapshot().since(before_queue);
+  const auto collect =
+      obs::histogram("serve.stage.collect").snapshot().since(before_collect);
+  const auto compute =
+      obs::histogram("serve.stage.compute").snapshot().since(before_compute);
+  const auto scatter =
+      obs::histogram("serve.stage.scatter").snapshot().since(before_scatter);
+  const auto e2e =
+      obs::histogram("serve.latency").snapshot().since(before_e2e);
+
+  EXPECT_EQ(queue.count, kRequests);  // one wait sample per request
+  EXPECT_EQ(e2e.count, kRequests);    // one end-to-end sample per request
+  EXPECT_GE(collect.count, 1);        // one sample per dispatched batch
+  EXPECT_EQ(compute.count, collect.count);
+  EXPECT_EQ(scatter.count, collect.count);
+  // Stages nest inside the end-to-end latency.
+  EXPECT_LE(compute.min, e2e.max);
+  EXPECT_GT(e2e.sum, 0.0);
+}
+
+// ------------------------------------------------------------------ StatsServer
+
+TEST(StatsServer, ServesPrometheusAndStatsJsonEndToEnd) {
+  obs::histogram("serve.latency").record(0.002);  // ensure a non-empty series
+
+  serve::StatsServerConfig cfg;
+  cfg.port = 0;
+  cfg.window_interval_s = 0.05;
+  cfg.window_intervals = 4;
+  serve::StatsServer stats(cfg);
+  ASSERT_GT(stats.port(), 0);
+
+  const std::string metrics =
+      util::http_get("127.0.0.1", stats.port(), "/metrics");
+  EXPECT_NE(metrics.find("# TYPE deepphi_serve_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("deepphi_serve_latency_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("deepphi_serve_window_p99_s"), std::string::npos);
+
+  const std::string body =
+      util::http_get("127.0.0.1", stats.port(), "/stats.json");
+  const util::JsonValue doc = util::parse_json(body);
+  EXPECT_EQ(doc.at("schema").as_string(), "deepphi.stats.v1");
+  EXPECT_GE(doc.at("uptime_s").as_number(), 0.0);
+  EXPECT_EQ(doc.at("server").at("port").as_number(),
+            static_cast<double>(stats.port()));
+  EXPECT_DOUBLE_EQ(doc.at("window").at("interval_s").as_number(), 0.05);
+  EXPECT_TRUE(doc.at("counters").is_object());
+  EXPECT_TRUE(doc.at("gauges").is_object());
+  const util::JsonValue& lat = doc.at("histograms").at("serve.latency");
+  EXPECT_GE(lat.at("count").as_number(), 1.0);
+  EXPECT_GT(lat.at("p99").as_number(), 0.0);
+
+  EXPECT_THROW(util::http_get("127.0.0.1", stats.port(), "/bogus"),
+               util::Error);
+  EXPECT_GE(stats.requests_served(), 3);
+  stats.stop();
+}
+
+TEST(StatsServer, WindowViewExpiresAfterQuietPeriod) {
+  serve::StatsServerConfig cfg;
+  cfg.port = 0;
+  cfg.window_interval_s = 0.02;
+  cfg.window_intervals = 2;
+  serve::StatsServer stats(cfg);
+  obs::histogram("serve.latency").record(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const util::JsonValue live = util::parse_json(stats.render_stats_json());
+  EXPECT_GE(live.at("window").at("count").as_number(), 1.0);
+  // After > intervals × interval of silence the burst has rolled out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  const util::JsonValue quiet = util::parse_json(stats.render_stats_json());
+  EXPECT_DOUBLE_EQ(quiet.at("window").at("count").as_number(), 0.0);
 }
 
 }  // namespace

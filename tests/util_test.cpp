@@ -4,13 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <set>
+#include <sstream>
 
 #include "util/aligned.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/http_listener.hpp"
+#include "util/json_reader.hpp"
+#include "util/json_writer.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -379,6 +384,121 @@ TEST(Timer, MeasuresElapsed) {
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_GE(t.milliseconds(), t.seconds() * 1e3 - 1e-9);
+}
+
+// ---------------------------------------------------------------- JsonReader
+
+TEST(JsonReader, ParsesScalarsAndContainers) {
+  const JsonValue v = parse_json(
+      R"({"name":"deepphi","n":42,"pi":3.25,"neg":-1e-3,"flag":true,)"
+      R"("nothing":null,"list":[1,"two",{"deep":[]}]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").as_string(), "deepphi");
+  EXPECT_DOUBLE_EQ(v.at("n").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(v.at("pi").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(v.at("neg").as_number(), -1e-3);
+  EXPECT_TRUE(v.at("flag").as_bool());
+  EXPECT_TRUE(v.at("nothing").is_null());
+  const JsonValue& list = v.at("list");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list.at(std::size_t{0}).as_number(), 1.0);
+  EXPECT_EQ(list.at(std::size_t{1}).as_string(), "two");
+  EXPECT_EQ(list.at(std::size_t{2}).at("deep").size(), 0u);
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  const JsonValue v = parse_json(R"(["a\"b\\c\/d\n\t", "\u0041\u00e9"])");
+  EXPECT_EQ(v.at(std::size_t{0}).as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(v.at(std::size_t{1}).as_string(), "A\xc3\xa9");  // UTF-8 é
+}
+
+TEST(JsonReader, MissingAndMismatchedAccessThrows) {
+  const JsonValue v = parse_json(R"({"a":1})");
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("b"));
+  EXPECT_TRUE(v.get("b").is_null());
+  EXPECT_THROW(v.at("b"), Error);
+  EXPECT_THROW(v.at("a").as_string(), Error);
+  EXPECT_THROW(v.as_array(), Error);
+  EXPECT_THROW(v.at("a").at(std::size_t{0}), Error);
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "\"unterminated", "{} extra", "nul",
+        "[1 2]", "{\"a\":}", "--3", "\"bad\\q\"", "\"\\u00g0\""}) {
+    EXPECT_THROW(parse_json(bad), Error) << bad;
+  }
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("name", "hostile \"quoted\" \\ value\n");
+  w.member("x", 2.5);
+  w.key("arr");
+  w.begin_array();
+  w.value(std::int64_t{-7});
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  const JsonValue v = parse_json(os.str());
+  EXPECT_EQ(v.at("name").as_string(), "hostile \"quoted\" \\ value\n");
+  EXPECT_DOUBLE_EQ(v.at("x").as_number(), 2.5);
+  EXPECT_EQ(v.at("arr").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("arr").at(std::size_t{0}).as_number(), -7.0);
+}
+
+// -------------------------------------------------------------- HttpListener
+
+TEST(HttpListener, ServesGetRequestsOnEphemeralPort) {
+  HttpListener http(0, [](const std::string& path) {
+    HttpListener::Response r;
+    if (path == "/hello") {
+      r.body = "world";
+    } else if (path == "/json") {
+      r.content_type = "application/json";
+      r.body = "{\"ok\":true}";
+    } else {
+      r.status = 404;
+      r.body = "nope";
+    }
+    return r;
+  });
+  ASSERT_GT(http.port(), 0);
+  EXPECT_EQ(http_get("127.0.0.1", http.port(), "/hello"), "world");
+  EXPECT_EQ(http_get("127.0.0.1", http.port(), "/json"), "{\"ok\":true}");
+  // Query strings are stripped before the handler sees the path.
+  EXPECT_EQ(http_get("127.0.0.1", http.port(), "/hello?x=1"), "world");
+  EXPECT_THROW(http_get("127.0.0.1", http.port(), "/missing"), Error);
+  EXPECT_GE(http.requests_served(), 4);
+  http.stop();
+  http.stop();  // idempotent
+}
+
+TEST(HttpListener, HandlerExceptionBecomesServerError) {
+  HttpListener http(0, [](const std::string&) -> HttpListener::Response {
+    throw Error("boom");
+  });
+  try {
+    http_get("127.0.0.1", http.port(), "/");
+    FAIL() << "expected a non-200 failure";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("500"), std::string::npos);
+  }
+}
+
+TEST(HttpListener, ConnectToClosedPortFails) {
+  int dead_port;
+  {
+    HttpListener http(0, [](const std::string&) {
+      return HttpListener::Response{};
+    });
+    dead_port = http.port();
+  }
+  EXPECT_THROW(http_get("127.0.0.1", dead_port, "/", 0.5), Error);
 }
 
 }  // namespace

@@ -3,9 +3,13 @@
 // ctest and scripts/profile_run.sh so "the file is machine-readable" is an
 // enforced property, not a hope.
 //
-// usage: deepphi_json_check [--jsonl] [--require=KEY]... [--expect=SUBSTR]... FILE
+// usage: deepphi_json_check [--jsonl] [--schema=NAME] [--require=KEY]...
+//                           [--expect=SUBSTR]... FILE
 //   --jsonl          validate each non-empty line as a standalone JSON value
 //                    (default: the whole file is one JSON value)
+//   --schema=NAME    the document must carry "schema": "NAME"; for known
+//                    schemas (deepphi.stats.v1) the schema's required members
+//                    are added to the --require set automatically
 //   --require=KEY    the document (every line, with --jsonl) must contain the
 //                    member name "KEY"
 //   --expect=SUBSTR  the raw file must contain SUBSTR (e.g. a schema tag)
@@ -40,6 +44,14 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--jsonl") {
       jsonl = true;
+    } else if (deepphi::util::starts_with(arg, "--schema=")) {
+      const std::string schema = arg.substr(9);
+      expected_substrings.push_back("\"schema\":\"" + schema + "\"");
+      if (schema == "deepphi.stats.v1") {
+        for (const char* key : {"schema", "uptime_s", "server", "window",
+                                "counters", "gauges", "histograms"})
+          required_keys.push_back(key);
+      }
     } else if (deepphi::util::starts_with(arg, "--require=")) {
       required_keys.push_back(arg.substr(10));
     } else if (deepphi::util::starts_with(arg, "--expect=")) {

@@ -38,9 +38,12 @@
 #include "data/binary_io.hpp"
 #include "data/idx_io.hpp"
 #include "la/simd/dispatch.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "serve/inference_server.hpp"
+#include "serve/latency_recorder.hpp"
+#include "serve/stats_server.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
@@ -155,6 +158,17 @@ int run(int argc, char** argv) {
                   "serving precision: auto | fp32 | int8. auto serves the "
                   "checkpoint as stored; int8 quantizes a float checkpoint "
                   "on the fly (see docs/serving.md)", "auto");
+  options.declare("stats-port",
+                  "serve live stats over HTTP on 127.0.0.1:<port> "
+                  "(/metrics Prometheus text, /stats.json deepphi.stats.v1); "
+                  "0 picks a free port");
+  options.declare("stats-port-file",
+                  "write the bound stats port to this file "
+                  "(for --stats-port=0 in scripts)");
+  options.declare("stats-linger-s",
+                  "keep the stats endpoint up this many seconds after the "
+                  "request stream drains, so pollers can scrape the final "
+                  "state", "0");
   options.declare("telemetry",
                   "write deepphi.serve.v1 JSONL (per-batch + summary) to "
                   "this path");
@@ -228,6 +242,23 @@ int run(int argc, char** argv) {
     cfg.telemetry = telemetry.get();
   }
   serve::InferenceServer server(*model, cfg);
+
+  std::unique_ptr<serve::StatsServer> stats_http;
+  if (options.has("stats-port")) {
+    serve::StatsServerConfig stats_cfg;
+    stats_cfg.port = options.get_int("stats-port");
+    stats_http = std::make_unique<serve::StatsServer>(stats_cfg);
+    std::printf("stats: http://127.0.0.1:%d (/metrics, /stats.json)\n",
+                stats_http->port());
+    if (options.has("stats-port-file")) {
+      std::ofstream port_file(options.get_string("stats-port-file"));
+      port_file << stats_http->port() << "\n";
+      DEEPPHI_CHECK_MSG(port_file.good(),
+                        "cannot write --stats-port-file '"
+                            << options.get_string("stats-port-file") << "'");
+    }
+  }
+
   std::printf(
       "config: max_batch=%lld max_delay=%.3fms queue_cap=%zu workers=%u, "
       "%zu requests over %.2fs (offered %.0f req/s)\n",
@@ -288,6 +319,26 @@ int run(int argc, char** argv) {
               stats.total_compute_s, 100.0 * stats.total_compute_s / wall,
               wall);
 
+  // Per-stage latency breakdown from the registry histograms (queue wait /
+  // collect / compute / scatter plus the end-to-end serve.latency).
+  std::printf("\n--- stage latency (ms) ---\n");
+  std::printf("%-18s %9s %8s %8s %8s %8s %8s\n", "stage", "count", "mean",
+              "p50", "p95", "p99", "max");
+  for (const obs::HistogramSample& h : obs::metrics::snapshot_histograms()) {
+    if (h.name.rfind("serve.", 0) != 0 || h.snapshot.count == 0) continue;
+    const serve::LatencySummary s = serve::summarize(h.snapshot);
+    std::printf("%-18s %9lld %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+                h.name.c_str() + 6, static_cast<long long>(s.count),
+                s.mean_s * 1e3, s.p50_s * 1e3, s.p95_s * 1e3, s.p99_s * 1e3,
+                s.max_s * 1e3);
+  }
+  std::printf("\n--- metrics ---\n");
+  for (const obs::MetricSample& m : obs::metrics::snapshot()) {
+    if (m.kind == obs::MetricSample::Kind::kHistogram) continue;
+    if (m.value == 0) continue;
+    std::printf("  %-28s %.6g\n", m.name.c_str(), m.value);
+  }
+
   if (options.has("profile")) {
     const std::string path = options.get_string("profile");
     obs::Profiler::write_chrome_json(path);
@@ -298,6 +349,19 @@ int run(int argc, char** argv) {
     std::printf("telemetry: %lld records written to %s\n",
                 static_cast<long long>(telemetry->records_written()),
                 options.get_string("telemetry").c_str());
+  }
+  if (stats_http) {
+    const double linger = options.get_double("stats-linger-s");
+    if (linger > 0) {
+      std::printf("stats: endpoint stays up %.1fs for final scrapes...\n",
+                  linger);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+    }
+    std::printf("stats: answered %lld HTTP requests on port %d\n",
+                static_cast<long long>(stats_http->requests_served()),
+                stats_http->port());
+    stats_http->stop();
   }
   return 0;
 }
