@@ -53,7 +53,7 @@ double served_rps(const core::Encoder& model, la::Index max_batch,
   cfg.queue_capacity = 4096;
   serve::InferenceServer server(model, cfg);
 
-  std::deque<std::future<std::vector<float>>> window;
+  std::deque<std::future<serve::Reply>> window;
   const std::size_t window_size = 512;
   const double start = now_s();
   la::Index next = 0;

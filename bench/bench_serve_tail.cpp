@@ -175,7 +175,7 @@ serve::ServerStats serve_probe(const core::Encoder& model, double rate,
     });
   }
 
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<serve::Reply>> futures;
   futures.reserve(static_cast<std::size_t>(rate * seconds) + 1);
   const auto start = std::chrono::steady_clock::now();
   la::Index next = 0;

@@ -61,7 +61,7 @@ SaturationPoint run_saturation(const core::Encoder& model, la::Index max_batch,
   cfg.queue_capacity = 4096;
   serve::InferenceServer server(model, cfg);
 
-  std::deque<std::future<std::vector<float>>> window;
+  std::deque<std::future<serve::Reply>> window;
   const std::size_t window_size = 512;
   const double start = now_s();
   la::Index next = 0;
@@ -95,7 +95,7 @@ serve::ServerStats run_moderate(const core::Encoder& model, double rate,
   cfg.queue_capacity = 4096;
   serve::InferenceServer server(model, cfg);
 
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<serve::Reply>> futures;
   futures.reserve(static_cast<std::size_t>(rate * seconds) + 1);
   const auto start = std::chrono::steady_clock::now();
   la::Index next = 0;

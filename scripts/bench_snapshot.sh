@@ -18,10 +18,15 @@
 #                     mutex recorder (record ns/op, contended throughput
 #                     under a stats poller) and open-loop serving p99 with a
 #                     live stats endpoint scraping.
+#  - serve_registry -> BENCH_serve_registry.json: bench_serve_registry --json
+#                     — two models with different latency budgets in one
+#                     registry-backed server under bursty Poisson arrivals:
+#                     static batching misses the tight SLO, SLO-aware
+#                     adaptive batching holds every lane inside its budget.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [name...]
 #   build-dir defaults to "build"; names default to all of
-#   simd data_parallel quant serve_tail.
+#   simd data_parallel quant serve_tail serve_registry.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,7 +34,7 @@ BUILD_DIR="${1:-build}"
 shift $(( $# > 0 ? 1 : 0 ))
 NAMES=("$@")
 if [ ${#NAMES[@]} -eq 0 ]; then
-  NAMES=(simd data_parallel quant serve_tail)
+  NAMES=(simd data_parallel quant serve_tail serve_registry)
 fi
 
 TARGETS=(deepphi_json_check)
@@ -39,7 +44,8 @@ for name in "${NAMES[@]}"; do
     data_parallel) TARGETS+=(bench_data_parallel) ;;
     quant)         TARGETS+=(bench_quant) ;;
     serve_tail)    TARGETS+=(bench_serve_tail) ;;
-    *) echo "unknown snapshot '$name' (known: simd data_parallel quant serve_tail)" >&2
+    serve_registry) TARGETS+=(bench_serve_registry) ;;
+    *) echo "unknown snapshot '$name' (known: simd data_parallel quant serve_tail serve_registry)" >&2
        exit 2 ;;
   esac
 done
@@ -100,6 +106,13 @@ snapshot_serve_tail() {
   local out="BENCH_serve_tail.json"
   "$BUILD_DIR/bench/bench_serve_tail" --seconds=1 --json="$out"
   validate "$out" --require=speedup_vs_mutex --require=p99_ms
+  echo "snapshot written to $out"
+}
+
+snapshot_serve_registry() {
+  local out="BENCH_serve_registry.json"
+  "$BUILD_DIR/bench/bench_serve_registry" --seconds=2 --json="$out"
+  validate "$out" --require=budget_ms --require=p99_ms --require=slo_met
   echo "snapshot written to $out"
 }
 

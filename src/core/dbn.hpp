@@ -35,10 +35,6 @@ class Dbn : public Encoder {
   /// Mean-field up-pass through every layer (the Encoder inference pass).
   void encode(const la::Matrix& x, la::Matrix& out) const override;
 
-  /// Deprecated alias for encode(): the historical DBN-specific name, kept
-  /// for existing call sites. New code should use the Encoder interface.
-  void up_pass(const la::Matrix& x, la::Matrix& out) const { encode(x, out); }
-
   // Encoder interface.
   la::Index input_dim() const override { return sizes_.front(); }
   la::Index output_dim() const override { return sizes_.back(); }

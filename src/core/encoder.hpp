@@ -1,7 +1,7 @@
 // The unified inference surface of every trained model in the repository.
 //
 // Training kept growing per-model entry points — SparseAutoencoder::encode,
-// StackedAutoencoder::encode, Dbn::up_pass, DeepAutoencoder::encode,
+// StackedAutoencoder::encode, the old Dbn up-pass, DeepAutoencoder::encode,
 // SoftmaxClassifier::probabilities — which made a serving layer impossible to
 // write without a switch over concrete types. Encoder collapses them: a
 // forward pass is "rows in, rows out", batched, read-only, and thread-safe

@@ -291,20 +291,31 @@ std::string sniff_magic(const std::string& path) {
   return std::string(magic, 4);
 }
 
-std::unique_ptr<core::Encoder> load_any(const std::string& path) {
-  const std::string magic = sniff_magic(path);
-  if (magic == "DPAE")
-    return std::make_unique<core::SparseAutoencoder>(core::load_sae(path));
-  if (magic == "DPRB")
-    return std::make_unique<core::Rbm>(core::load_rbm(path));
-  if (magic == "DPSA")
-    return std::make_unique<core::StackedAutoencoder>(
+LoadedModel load_any(const std::string& path) {
+  LoadedModel loaded;
+  loaded.magic = sniff_magic(path);
+  if (loaded.magic == "DPAE") {
+    loaded.model = std::make_unique<core::SparseAutoencoder>(core::load_sae(path));
+  } else if (loaded.magic == "DPRB") {
+    loaded.model = std::make_unique<core::Rbm>(core::load_rbm(path));
+  } else if (loaded.magic == "DPSA") {
+    loaded.model = std::make_unique<core::StackedAutoencoder>(
         core::load_stacked_sae(path));
-  if (magic == "DPDB")
-    return std::make_unique<core::Dbn>(core::load_dbn(path));
-  if (magic == "DPQE") return core::load_quantized(path);
-  throw util::Error("'" + path + "' has unknown checkpoint magic '" + magic +
-                    "' (known: DPAE, DPRB, DPSA, DPDB, DPQE)");
+  } else if (loaded.magic == "DPDB") {
+    loaded.model = std::make_unique<core::Dbn>(core::load_dbn(path));
+  } else if (loaded.magic == "DPQE") {
+    loaded.model = core::load_quantized(path);
+  } else {
+    throw util::Error("'" + path + "' has unknown checkpoint magic '" +
+                      loaded.magic + "' (known: DPAE, DPRB, DPSA, DPDB, DPQE)");
+  }
+  loaded.precision = loaded.magic == "DPQE" ? "int8" : "fp32";
+  std::ifstream size_probe(path, std::ios::binary | std::ios::ate);
+  if (size_probe.good()) {
+    const auto end = size_probe.tellg();
+    if (end > 0) loaded.file_bytes = static_cast<std::uint64_t>(end);
+  }
+  return loaded;
 }
 
 }  // namespace deepphi::model_io

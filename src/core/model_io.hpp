@@ -10,6 +10,7 @@
 //              group sums are derived and rebuilt on load)
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -46,12 +47,22 @@ namespace deepphi::model_io {
 /// too short to carry a header. Does not validate the version or payload.
 std::string sniff_magic(const std::string& path);
 
+/// A loaded checkpoint plus the metadata the serve-tier registry wants to
+/// expose without re-opening the file: what format it was, which numeric
+/// tier it runs, and how big the checkpoint was on disk.
+struct LoadedModel {
+  std::unique_ptr<core::Encoder> model;
+  std::string magic;       ///< 4-byte checkpoint magic, e.g. "DPSA"
+  std::string precision;   ///< "fp32" or "int8"
+  std::uint64_t file_bytes = 0;
+};
+
 /// Loads ANY checkpoint as its inference interface: sniffs the magic and
 /// dispatches to the matching typed loader, so callers (serving, eval) need
 /// no per-type flags or switches. Throws util::Error for unknown magics,
 /// unsupported versions, and truncated payloads. The typed core::load_*
 /// functions remain as thin wrappers for callers that need the concrete
 /// training type.
-std::unique_ptr<core::Encoder> load_any(const std::string& path);
+LoadedModel load_any(const std::string& path);
 
 }  // namespace deepphi::model_io

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cstdio>
+#include <map>
+#include <vector>
 #include <sstream>
 
 #include "obs/histogram.hpp"
@@ -42,39 +44,99 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+PrometheusSeries prometheus_series(const std::string& name) {
+  static constexpr const char kPrefix[] = "serve.model.";
+  static constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.rfind(kPrefix, 0) == 0) {
+    // serve.model.<model>.<rest>: model names never contain '.', so the
+    // first dot after the prefix ends the label value.
+    const std::size_t dot = name.find('.', kPrefixLen);
+    if (dot != std::string::npos && dot + 1 < name.size()) {
+      const std::string model = name.substr(kPrefixLen, dot - kPrefixLen);
+      return {prometheus_name("serve.model." + name.substr(dot + 1)),
+              "model=\"" + model + "\""};
+    }
+  }
+  return {prometheus_name(name), ""};
+}
+
+namespace {
+
+/// "{model=\"x\"}" / "{model=\"x\",le=\"y\"}" / "{le=\"y\"}" / "".
+std::string braced(const std::string& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  if (labels.empty()) return "{" + extra + "}";
+  if (extra.empty()) return "{" + labels + "}";
+  return "{" + labels + "," + extra + "}";
+}
+
+/// Accumulates samples grouped by family: per-model series share one family
+/// (distinguished by the model label), and the exposition format requires
+/// every line of a family to sit together under a single `# TYPE` line.
+class FamilyWriter {
+ public:
+  std::ostringstream& lines(const std::string& family, const char* type) {
+    const auto [it, fresh] = families_.try_emplace(family);
+    if (fresh) {
+      order_.push_back(family);
+      it->second << "# TYPE " << family << " " << type << "\n";
+    }
+    return it->second;
+  }
+  std::string str() const {
+    std::string out;
+    for (const std::string& family : order_) out += families_.at(family).str();
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::ostringstream> families_;
+  std::vector<std::string> order_;  // first-seen, keeps snapshot ordering
+};
+
+}  // namespace
+
 std::string prometheus_text() {
-  std::ostringstream os;
+  FamilyWriter out;
   for (const MetricSample& m : metrics::snapshot()) {
-    const std::string pname = prometheus_name(m.name);
+    const PrometheusSeries series = prometheus_series(m.name);
     switch (m.kind) {
       case MetricSample::Kind::kCounter:
-        os << "# TYPE " << pname << "_total counter\n"
-           << pname << "_total " << fmt(m.value) << "\n";
+        out.lines(series.family + "_total", "counter")
+            << series.family << "_total" << braced(series.labels) << " "
+            << fmt(m.value) << "\n";
         break;
       case MetricSample::Kind::kGauge:
-        os << "# TYPE " << pname << " gauge\n"
-           << pname << " " << fmt(m.value) << "\n";
+        out.lines(series.family, "gauge")
+            << series.family << braced(series.labels) << " " << fmt(m.value)
+            << "\n";
         break;
       case MetricSample::Kind::kHistogram:
         break;  // rendered below, with buckets
     }
   }
   for (const HistogramSample& h : metrics::snapshot_histograms()) {
-    const std::string pname = prometheus_name(h.name);
-    os << "# TYPE " << pname << " histogram\n";
+    const PrometheusSeries series = prometheus_series(h.name);
+    std::ostringstream& os = out.lines(series.family, "histogram");
     std::int64_t cum = 0;
     for (std::size_t i = 0; i < h.snapshot.buckets.size(); ++i) {
       if (h.snapshot.buckets[i] == 0) continue;
       cum += h.snapshot.buckets[i];
-      os << pname << "_bucket{le=\""
-         << fmt(Histogram::bucket_upper(static_cast<int>(i))) << "\"} " << cum
-         << "\n";
+      os << series.family << "_bucket"
+         << braced(series.labels,
+                   "le=\"" +
+                       fmt(Histogram::bucket_upper(static_cast<int>(i))) +
+                       "\"")
+         << " " << cum << "\n";
     }
-    os << pname << "_bucket{le=\"+Inf\"} " << cum << "\n"
-       << pname << "_sum " << fmt(h.snapshot.sum) << "\n"
-       << pname << "_count " << h.snapshot.count << "\n";
+    os << series.family << "_bucket" << braced(series.labels, "le=\"+Inf\"")
+       << " " << cum << "\n"
+       << series.family << "_sum" << braced(series.labels) << " "
+       << fmt(h.snapshot.sum) << "\n"
+       << series.family << "_count" << braced(series.labels) << " "
+       << h.snapshot.count << "\n";
   }
-  return os.str();
+  return out.str();
 }
 
 void write_registry_stats(util::JsonWriter& w) {

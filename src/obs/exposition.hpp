@@ -11,7 +11,12 @@
 //    server/window sections around it).
 //
 // Metric names keep their dotted spelling in JSON; Prometheus names are
-// sanitized (non-[a-zA-Z0-9_] → '_') and prefixed `deepphi_`.
+// sanitized (non-[a-zA-Z0-9_] → '_') and prefixed `deepphi_`. Per-model
+// serving series (`serve.model.<name>.<rest>`) render as ONE Prometheus
+// family per <rest> with a model label — `deepphi_serve_model_<rest>
+// {model="<name>"}` — so dashboards aggregate and filter across models
+// instead of matching N distinct metric names. (Registry names are
+// restricted to [A-Za-z0-9_-], so the split is unambiguous.)
 #pragma once
 
 #include <string>
@@ -32,6 +37,16 @@ void write_registry_stats(util::JsonWriter& w);
 
 /// `deepphi_serve_stage_compute`-style spelling of a dotted metric name.
 std::string prometheus_name(const std::string& name);
+
+/// How a dotted metric renders in Prometheus: the family name plus the label
+/// set (without braces; empty for ordinary metrics). A per-model series
+/// `serve.model.small.latency` maps to {"deepphi_serve_model_latency",
+/// "model=\"small\""}.
+struct PrometheusSeries {
+  std::string family;
+  std::string labels;
+};
+PrometheusSeries prometheus_series(const std::string& name);
 
 inline constexpr const char* kStatsSchema = "deepphi.stats.v1";
 

@@ -1,0 +1,68 @@
+#include "serve/adaptive_batcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace deepphi::serve {
+
+AdaptiveBatcher::AdaptiveBatcher(BatchPolicy policy) : policy_(policy) {
+  DEEPPHI_CHECK_MSG(policy_.min_batch >= 1,
+                    "min_batch must be >= 1, got " << policy_.min_batch);
+  DEEPPHI_CHECK_MSG(
+      policy_.max_batch >= policy_.min_batch,
+      "max_batch " << policy_.max_batch << " < min_batch " << policy_.min_batch);
+  DEEPPHI_CHECK_MSG(policy_.max_delay_s >= 0,
+                    "max_delay_s must be >= 0, got " << policy_.max_delay_s);
+  DEEPPHI_CHECK_MSG(policy_.delay_cap_s >= 0,
+                    "delay_cap_s must be >= 0, got " << policy_.delay_cap_s);
+  DEEPPHI_CHECK_MSG(policy_.budget_s >= 0,
+                    "budget_s must be >= 0, got " << policy_.budget_s);
+}
+
+bool AdaptiveBatcher::adaptive() const {
+  return policy_.adaptive && policy_.budget_s > 0;
+}
+
+BatchDecision AdaptiveBatcher::decide(const obs::HistogramSnapshot& e2e,
+                                      const obs::HistogramSnapshot& compute,
+                                      double arrival_rate_rps) const {
+  if (!adaptive()) return {policy_.max_batch, policy_.max_delay_s};
+
+  // Whatever the budget leaves after a typical batch's compute is what a
+  // request can afford to spend waiting to be coalesced. Spending half of it
+  // keeps margin for queue wait, gather/scatter, and compute variance; an
+  // empty compute window (cold start) spends half the whole budget.
+  const double compute_p95 = compute.count > 0 ? compute.quantile(0.95) : 0.0;
+  const double slack = policy_.budget_s - compute_p95;
+  double delay = slack > 0 ? 0.5 * slack : 0.0;
+
+  // Proportional brake: the live tail already exceeds the budget, so shrink
+  // the wait by how far over it is (floored at 1/4 — a near-zero deadline
+  // still coalesces the backlog, and full recovery takes one window turn).
+  if (e2e.count > 0) {
+    const double p99 = e2e.quantile(0.99);
+    if (p99 > policy_.budget_s) {
+      const double scale = std::max(0.25, policy_.budget_s / p99);
+      delay *= scale;
+    }
+  }
+  delay = std::min(delay, policy_.delay_cap_s);
+
+  // Rate-matched batch cap: roughly what arrives within the wait, with 2x
+  // headroom for bursts plus the anchor request already holding the queue.
+  // Light traffic then flushes by size the moment its cohort is in, instead
+  // of sleeping out the full deadline; with no rate evidence the cap stays
+  // wide open and the deadline alone governs.
+  la::Index batch = policy_.max_batch;
+  if (arrival_rate_rps > 0 && delay > 0) {
+    const double expected = std::ceil(arrival_rate_rps * delay * 2.0) + 1.0;
+    batch = static_cast<la::Index>(
+        std::clamp(expected, static_cast<double>(policy_.min_batch),
+                   static_cast<double>(policy_.max_batch)));
+  }
+  return {batch, delay};
+}
+
+}  // namespace deepphi::serve

@@ -1,0 +1,75 @@
+// SLO-aware adaptive batching policy — picks the size-or-deadline flush
+// parameters per model from live tail-latency evidence instead of a static
+// config.
+//
+// The static batcher spends a FIXED max_delay coalescing, whatever the
+// model's latency budget or current compute cost. That wastes the budget
+// both ways: a fast model under a tight SLO burns headroom waiting for peers
+// that a shorter deadline would have served comfortably, and a slow model
+// under a loose SLO flushes thin GEMM-starved batches a longer wait would
+// have filled (the paper's Fig. 9 lesson: many-core throughput only
+// materializes in batches).
+//
+// decide() is a PURE function of its inputs — two rolling-window histogram
+// snapshots (end-to-end latency and per-batch compute time) and the arrival
+// rate — so tests pin exact decisions from synthetic windows. The policy:
+//
+//   slack  = budget − compute_p95(window)     // what waiting may spend
+//   delay  = clamp(slack / 2, 0, delay_cap)   // spend half, keep margin
+//   if e2e_p99(window) > budget:              // SLO already missed: brake
+//       delay *= clamp(budget / p99, 1/4, 1)
+//   batch  = clamp(ceil(rate · delay · 2) + 1, min_batch, max_batch)
+//
+// Halving the slack leaves room for queue wait, gather/scatter, and compute
+// variance; the rate-matched batch cap makes light traffic flush by size
+// instead of always sleeping out the deadline; the proportional brake
+// reacts within one window turn when the tail blows through the budget.
+// With no budget (or adaptivity off) decide() returns the static config
+// unchanged, so the classic size-or-deadline server is the degenerate case.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "obs/histogram.hpp"
+
+namespace deepphi::serve {
+
+/// Per-model batching policy knobs (defaults reproduce the static PR-3
+/// batcher exactly).
+struct BatchPolicy {
+  la::Index min_batch = 1;     ///< floor for the adaptive batch cap
+  la::Index max_batch = 64;    ///< ceiling (and the static batch cap)
+  double max_delay_s = 2e-3;   ///< static flush deadline
+  double delay_cap_s = 0.02;   ///< adaptive deadline never exceeds this
+  double budget_s = 0;         ///< end-to-end latency SLO; 0 disables
+  bool adaptive = true;        ///< false pins the static policy
+};
+
+/// What the batcher thread feeds RequestQueue::collect() for the next batch.
+struct BatchDecision {
+  la::Index max_batch = 64;
+  double max_delay_s = 2e-3;
+};
+
+class AdaptiveBatcher {
+ public:
+  explicit AdaptiveBatcher(BatchPolicy policy);
+
+  /// Deterministic: the decision for the next collect() given the current
+  /// rolling windows. `e2e` is the end-to-end latency window, `compute` the
+  /// per-batch encode-time window, `arrival_rate_rps` the window's request
+  /// rate (requests/s). Empty windows (cold start) behave as p95 = 0 /
+  /// rate = 0: spend half the budget waiting with the batch cap wide open.
+  BatchDecision decide(const obs::HistogramSnapshot& e2e,
+                       const obs::HistogramSnapshot& compute,
+                       double arrival_rate_rps) const;
+
+  const BatchPolicy& policy() const { return policy_; }
+
+  /// True when decide() actually adapts (policy.adaptive && budget_s > 0).
+  bool adaptive() const;
+
+ private:
+  BatchPolicy policy_;
+};
+
+}  // namespace deepphi::serve

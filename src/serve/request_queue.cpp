@@ -6,8 +6,9 @@
 
 namespace deepphi::serve {
 
-RequestQueue::RequestQueue(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+RequestQueue::RequestQueue(std::size_t capacity, std::string depth_gauge)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      depth_gauge_(obs::gauge(depth_gauge)) {}
 
 bool RequestQueue::try_push(Request&& r) {
   {
@@ -15,8 +16,7 @@ bool RequestQueue::try_push(Request&& r) {
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(r));
     peak_ = std::max(peak_, items_.size());
-    static obs::Gauge& depth = obs::gauge("serve.queue_depth");
-    depth.set(static_cast<double>(items_.size()));
+    depth_gauge_.set(static_cast<double>(items_.size()));
   }
   nonempty_.notify_one();
   return true;
@@ -48,8 +48,7 @@ std::vector<Request> RequestQueue::collect(std::size_t max_batch,
     batch.push_back(std::move(items_.front()));
     items_.pop_front();
   }
-  static obs::Gauge& depth = obs::gauge("serve.queue_depth");
-  depth.set(static_cast<double>(items_.size()));
+  depth_gauge_.set(static_cast<double>(items_.size()));
   return batch;
 }
 

@@ -21,23 +21,40 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace deepphi::serve {
+
+/// What a completed request resolves to: the encoded row plus the registry
+/// version of the model that actually served it — under a hot swap,
+/// in-flight batches finish on the version they were collected under, and
+/// the version field is how callers (and the hot-swap tests) know which
+/// model's direct encode() a response must be bitwise equal to. Servers
+/// built directly on an Encoder (no registry) report version 1.
+struct Reply {
+  std::vector<float> row;
+  std::uint64_t version = 1;
+};
 
 /// One in-flight inference request: the input row, the promise its caller
 /// holds the future of, and its admission timestamps (profiler clock for
 /// stats, steady_clock for the deadline wait).
 struct Request {
   std::vector<float> input;
-  std::promise<std::vector<float>> result;
+  std::promise<Reply> result;
   double enqueue_s = 0;
   std::chrono::steady_clock::time_point enqueue_tp{};
 };
 
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity);
+  /// `depth_gauge` names the registry gauge tracking this queue's depth —
+  /// per-model queues pass "serve.model.<name>.queue_depth".
+  explicit RequestQueue(std::size_t capacity,
+                        std::string depth_gauge = "serve.queue_depth");
 
   /// Admits `r` unless the queue is full or closed; returns whether it was
   /// admitted (the caller fails the promise on rejection — the queue never
@@ -65,6 +82,7 @@ class RequestQueue {
 
  private:
   const std::size_t capacity_;
+  obs::Gauge& depth_gauge_;
   mutable std::mutex mutex_;
   std::condition_variable nonempty_;
   std::deque<Request> items_;

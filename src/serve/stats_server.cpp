@@ -2,9 +2,12 @@
 
 #include <sstream>
 
+#include "core/model_io.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "serve/inference_server.hpp"
+#include "util/error.hpp"
 #include "util/json_writer.hpp"
 
 namespace deepphi::serve {
@@ -17,7 +20,7 @@ StatsServer::StatsServer(const StatsServerConfig& config)
   window_.advance(start_s_);
   listener_ = std::make_unique<util::HttpListener>(
       config.port,
-      [this](const std::string& path) { return handle(path); });
+      [this](const std::string& target) { return handle(target); });
 }
 
 StatsServer::~StatsServer() { stop(); }
@@ -77,7 +80,96 @@ std::string StatsServer::render_stats_json() {
   return os.str();
 }
 
-util::HttpListener::Response StatsServer::handle(const std::string& path) {
+std::string StatsServer::render_models_json() {
+  DEEPPHI_CHECK_MSG(config_.server != nullptr,
+                    "/admin/models needs an attached InferenceServer");
+  std::ostringstream os;
+  util::JsonWriter writer(os);
+  writer.begin_object();
+  writer.key("models");
+  writer.begin_array();
+  for (const ModelInfo& info : config_.server->registry().list()) {
+    const ServerStats s = config_.server->stats(info.name);
+    writer.begin_object();
+    writer.member("name", info.name);
+    writer.member("version", static_cast<std::int64_t>(info.version));
+    writer.member("magic", info.magic);
+    writer.member("precision", info.precision);
+    writer.member("file_bytes", static_cast<std::int64_t>(info.file_bytes));
+    writer.member("input_dim", static_cast<std::int64_t>(info.input_dim));
+    writer.member("output_dim", static_cast<std::int64_t>(info.output_dim));
+    writer.member("description", info.description);
+    writer.member("budget_ms", info.budget_s * 1e3);
+    writer.member("submitted", s.submitted);
+    writer.member("rejected", s.rejected);
+    writer.member("shed", s.shed);
+    writer.member("completed", s.completed);
+    writer.member("failed", s.failed);
+    writer.member("batches", s.batches);
+    writer.member("queue_depth", static_cast<std::int64_t>(
+                                     config_.server->queue_depth(info.name)));
+    writer.member("latency_p99_s", s.latency.p99_s);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  os << "\n";
+  return os.str();
+}
+
+util::HttpListener::Response StatsServer::handle_swap(
+    const std::map<std::string, std::string>& params) {
+  util::HttpListener::Response resp;
+  resp.content_type = "application/json";
+  const auto fail = [&resp](int status, const std::string& why) {
+    std::ostringstream os;
+    util::JsonWriter writer(os);
+    writer.begin_object();
+    writer.member("error", why);
+    writer.end_object();
+    os << "\n";
+    resp.status = status;
+    resp.body = os.str();
+    return resp;
+  };
+  if (config_.server == nullptr)
+    return fail(404, "hot swap needs an attached inference server");
+  const auto model_it = params.find("model");
+  const auto path_it = params.find("path");
+  if (model_it == params.end() || model_it->second.empty() ||
+      path_it == params.end() || path_it->second.empty())
+    return fail(400, "usage: /admin/swap?model=NAME&path=/abs/checkpoint");
+  const std::string& name = model_it->second;
+  const std::string& path = path_it->second;
+  try {
+    ModelRegistry& registry = config_.server->registry();
+    const std::uint64_t old_version = registry.info(name).version;
+    // Load OUTSIDE any serving lock: a slow disk delays this swap, never a
+    // batch. publish() is the only registry touch, one mutex hop.
+    model_io::LoadedModel loaded = model_io::load_any(path);
+    const std::uint64_t new_version = registry.publish(name, std::move(loaded));
+    const ModelInfo info = registry.info(name);
+    std::ostringstream os;
+    util::JsonWriter writer(os);
+    writer.begin_object();
+    writer.member("model", name);
+    writer.member("path", path);
+    writer.member("old_version", static_cast<std::int64_t>(old_version));
+    writer.member("new_version", static_cast<std::int64_t>(new_version));
+    writer.member("magic", info.magic);
+    writer.member("precision", info.precision);
+    writer.member("file_bytes", static_cast<std::int64_t>(info.file_bytes));
+    writer.end_object();
+    os << "\n";
+    resp.body = os.str();
+    return resp;
+  } catch (const std::exception& e) {
+    return fail(400, e.what());
+  }
+}
+
+util::HttpListener::Response StatsServer::handle(const std::string& target) {
+  const auto [path, query] = util::split_target(target);
   util::HttpListener::Response resp;
   if (path == "/metrics") {
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -85,8 +177,17 @@ util::HttpListener::Response StatsServer::handle(const std::string& path) {
   } else if (path == "/stats.json") {
     resp.content_type = "application/json";
     resp.body = render_stats_json();
+  } else if (path == "/admin/models" && config_.server != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    resp.content_type = "application/json";
+    resp.body = render_models_json();
+  } else if (path == "/admin/swap") {
+    std::lock_guard<std::mutex> lock(mutex_);
+    resp = handle_swap(util::parse_query(query));
   } else if (path == "/" || path == "/healthz") {
-    resp.body = "deepphi stats endpoint: /metrics /stats.json\n";
+    resp.body =
+        "deepphi stats endpoint: /metrics /stats.json /admin/models "
+        "/admin/swap\n";
   } else {
     resp.status = 404;
     resp.body = "not found; try /metrics or /stats.json\n";

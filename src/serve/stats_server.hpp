@@ -1,21 +1,32 @@
-// Live stats endpoint for the inference server: a util::HttpListener that
-// renders the process metrics registry on demand.
+// Live stats + admin endpoint for the inference server: a util::HttpListener
+// that renders the process metrics registry on demand and (when attached to
+// a server) drives the model registry's hot-swap control plane.
 //
 // Routes:
-//  * /metrics     — Prometheus text format (obs::prometheus_text()).
-//  * /stats.json  — one `deepphi.stats.v1` record: schema, uptime, server
-//                   info, a rolling-window view of serve.latency, and the
-//                   full registry (counters/gauges/histograms with
-//                   p50/p95/p99 summaries).
+//  * /metrics       — Prometheus text format (obs::prometheus_text()).
+//  * /stats.json    — one `deepphi.stats.v1` record: schema, uptime, server
+//                     info, a rolling-window view of serve.latency, and the
+//                     full registry (counters/gauges/histograms with
+//                     p50/p95/p99 summaries).
+//  * /admin/models  — JSON list of every registered model's metadata and
+//                     lifetime serving stats (needs an attached server).
+//  * /admin/swap?model=NAME&path=/abs/ckpt
+//                   — loads the checkpoint and publishes it to NAME,
+//                     bumping the version; in-flight batches finish on the
+//                     old version, responses report which version served
+//                     them. Errors (unknown model, bad checkpoint, input-dim
+//                     mismatch) come back as 400 with the reason.
 //
 // Each scrape also advances the rolling window and publishes its live view
 // as gauges (serve.window.p50_s/p95_s/p99_s/rate_rps), so a Prometheus
 // scraper gets the windowed quantiles too, not just the cumulative ones.
-// Rendering runs on the listener's accept thread under a small mutex; the
-// serving hot path never blocks on it (histogram record() is lock-free).
+// Rendering and swaps run on the listener's accept thread under a small
+// mutex; the serving hot path never blocks on either (histogram record() is
+// lock-free, and publish() is one mutex hop the batcher takes per batch).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,10 +36,15 @@
 
 namespace deepphi::serve {
 
+class InferenceServer;
+
 struct StatsServerConfig {
   int port = 0;                   ///< 0 = kernel-assigned (see port()).
   double window_interval_s = 1.0; ///< rolling-window tick width
   int window_intervals = 10;      ///< ticks retained (10 × 1s = last ~10s)
+  /// Attaching the server enables the /admin routes (model list, hot swap).
+  /// Must outlive the StatsServer.
+  InferenceServer* server = nullptr;
 };
 
 class StatsServer {
@@ -53,15 +69,20 @@ class StatsServer {
   std::string render_metrics();
   std::string render_stats_json();
 
+  /// The /admin/models body (requires an attached server; throws otherwise).
+  std::string render_models_json();
+
  private:
-  util::HttpListener::Response handle(const std::string& path);
+  util::HttpListener::Response handle(const std::string& target);
+  util::HttpListener::Response handle_swap(
+      const std::map<std::string, std::string>& params);
   /// Advances the window to now and refreshes serve.window.* gauges.
   /// Returns the current windowed view. Caller holds mutex_.
   obs::HistogramSnapshot advance_window_locked();
 
   StatsServerConfig config_;
   double start_s_;
-  std::mutex mutex_;  ///< serializes window advance + rendering
+  std::mutex mutex_;  ///< serializes window advance + rendering + swaps
   obs::RollingWindow window_;
   std::unique_ptr<util::HttpListener> listener_;
 };

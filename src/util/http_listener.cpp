@@ -130,8 +130,6 @@ void HttpListener::accept_loop() {
       resp.status = 405;
       resp.body = "only GET is supported\n";
     } else {
-      const std::size_t query = target.find('?');
-      if (query != std::string::npos) target.resize(query);
       try {
         resp = handler_(target);
       } catch (const std::exception& e) {
@@ -155,6 +153,67 @@ void HttpListener::accept_loop() {
     served_.fetch_add(1, std::memory_order_relaxed);
     ::close(fd);
   }
+}
+
+std::pair<std::string, std::string> split_target(const std::string& target) {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return {target, ""};
+  return {target.substr(0, q), target.substr(q + 1)};
+}
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> params;
+  std::size_t start = 0;
+  while (start <= query.size()) {
+    std::size_t end = query.find('&', start);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(start, end - start);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        params[percent_decode(pair)] = "";
+      } else {
+        params[percent_decode(pair.substr(0, eq))] =
+            percent_decode(pair.substr(eq + 1));
+      }
+    }
+    if (end == query.size()) break;
+    start = end + 1;
+  }
+  return params;
 }
 
 std::string http_get(const std::string& host, int port, const std::string& path,

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -33,9 +34,11 @@ class HttpListener {
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
   };
-  /// Called with the request path (e.g. "/stats.json", query string
-  /// stripped) for every GET; exceptions become 500 responses.
-  using Handler = std::function<Response(const std::string& path)>;
+  /// Called with the full request target (e.g. "/stats.json" or
+  /// "/admin/swap?model=a&path=b") for every GET; exceptions become 500
+  /// responses. Handlers that take parameters split the target with
+  /// split_target() / parse_query() below.
+  using Handler = std::function<Response(const std::string& target)>;
 
   /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and starts the
   /// accept thread. Throws util::Error when the bind fails.
@@ -71,5 +74,13 @@ class HttpListener {
 /// a non-200 status.
 std::string http_get(const std::string& host, int port,
                      const std::string& path, double timeout_s = 5.0);
+
+/// Splits a request target at the first '?': "/p?a=1" -> {"/p", "a=1"},
+/// "/p" -> {"/p", ""}.
+std::pair<std::string, std::string> split_target(const std::string& target);
+
+/// Parses "k1=v1&k2=v2" into a map, percent-decoding %XX escapes and '+' in
+/// values. Keys without '=' map to "". Later duplicates win.
+std::map<std::string, std::string> parse_query(const std::string& query);
 
 }  // namespace deepphi::util

@@ -27,10 +27,12 @@ Options Options::parse(int argc, const char* const* argv) {
       } else {
         opts.values_[body] = "true";
       }
+      opts.repeated_[body].push_back(opts.values_[body]);
     } else {
       const std::string key = body.substr(0, eq);
       DEEPPHI_CHECK_MSG(!key.empty(), "flag with empty name: '" << arg << "'");
       opts.values_[key] = body.substr(eq + 1);
+      opts.repeated_[key].push_back(opts.values_[key]);
     }
   }
   return opts;
@@ -67,6 +69,11 @@ double Options::get_double(const std::string& name) const {
 
 bool Options::get_bool(const std::string& name) const {
   return parse_bool(get_string(name));
+}
+
+std::vector<std::string> Options::get_repeated(const std::string& name) const {
+  if (auto it = repeated_.find(name); it != repeated_.end()) return it->second;
+  return {};
 }
 
 std::string Options::help(const std::string& program) const {

@@ -34,6 +34,10 @@ class Options {
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
+  /// Every value supplied for a repeatable flag, in argv order (get_string
+  /// returns the last one). Empty when the flag was never supplied.
+  std::vector<std::string> get_repeated(const std::string& name) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Formatted help text for declared flags.
@@ -45,6 +49,9 @@ class Options {
     std::string default_value;
   };
   std::map<std::string, std::string> values_;
+  // Flags may repeat (e.g. one --model per served model); every occurrence
+  // is kept here in argv order while values_ holds the last one.
+  std::map<std::string, std::vector<std::string>> repeated_;
   std::map<std::string, Decl> decls_;
   std::vector<std::string> positional_;
 };

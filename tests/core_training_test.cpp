@@ -481,7 +481,7 @@ TEST(StackedAutoencoder, PaperTableINetworkShape) {
   EXPECT_EQ(stack.layer(2).hidden(), 8);
 }
 
-TEST(Dbn, PretrainAndUpPass) {
+TEST(Dbn, PretrainAndEncode) {
   data::Dataset patches = data::make_digit_patch_dataset(256, 4, 79);
   RbmConfig proto;
   Dbn dbn({16, 10, 6}, proto, 83);
@@ -492,7 +492,7 @@ TEST(Dbn, PretrainAndUpPass) {
   la::Matrix x(5, 16);
   patches.copy_batch(0, 5, x);
   la::Matrix top;
-  dbn.up_pass(x, top);
+  dbn.encode(x, top);
   EXPECT_EQ(top.cols(), 6);
   for (la::Index i = 0; i < top.size(); ++i) {
     EXPECT_GT(top.data()[i], 0.0f);

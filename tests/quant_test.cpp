@@ -356,11 +356,12 @@ TEST(QuantizedServing, ServedRowsBitwiseEqualSingleRowEncode) {
   serve::InferenceServer server(*q, cfg);
   EXPECT_STREQ(server.precision(), "int8");
 
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<serve::Reply>> futures;
   for (la::Index r = 0; r < inputs.rows(); ++r)
     futures.push_back(server.submit(inputs.row(r), inputs.cols()));
   for (la::Index r = 0; r < inputs.rows(); ++r) {
-    const std::vector<float> served = futures[static_cast<std::size_t>(r)].get();
+    const std::vector<float> served =
+        futures[static_cast<std::size_t>(r)].get().row;
     la::Matrix one(1, 48), direct;
     std::copy(inputs.row(r), inputs.row(r) + 48, one.row(0));
     q->encode(one, direct);
@@ -419,7 +420,10 @@ TEST_F(QuantIoTest, LoadAnyDispatchesOnTheMagic) {
   const core::SparseAutoencoder sae(core::SaeConfig{32, 8}, 2);
   const auto q = core::QuantizedEncoder::from(sae);
   core::save_model(*q, path("any.dpqe"));
-  std::unique_ptr<core::Encoder> loaded = model_io::load_any(path("any.dpqe"));
+  model_io::LoadedModel any = model_io::load_any(path("any.dpqe"));
+  EXPECT_EQ(any.magic, "DPQE");
+  EXPECT_EQ(any.precision, "int8");
+  std::unique_ptr<core::Encoder> loaded = std::move(any.model);
   ASSERT_NE(loaded, nullptr);
   EXPECT_NE(dynamic_cast<core::QuantizedEncoder*>(loaded.get()), nullptr);
   la::Matrix a, b;

@@ -91,15 +91,16 @@ TEST(EncoderInterface, RbmEncodeIsHiddenMean) {
   EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size()));
 }
 
-TEST(EncoderInterface, DbnUpPassAliasesEncode) {
+TEST(EncoderInterface, DbnEncodeMatchesLayerwiseHiddenMeans) {
   const core::Dbn dbn({10, 8, 5}, core::RbmConfig{}, 5);
   const core::Encoder& enc = dbn;
   EXPECT_EQ(enc.input_dim(), 10);
   EXPECT_EQ(enc.output_dim(), 5);
   const la::Matrix x = random_rows(6, 10, 6);
-  la::Matrix a, b;
+  la::Matrix a, h0, b;
   enc.encode(x, a);
-  dbn.up_pass(x, b);  // deprecated alias must stay bit-identical
+  dbn.layer(0).hidden_mean(x, h0);
+  dbn.layer(1).hidden_mean(h0, b);
   EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size()));
 }
 
@@ -169,32 +170,36 @@ TEST_F(LoadAnyTest, SniffsAllFourMagics) {
 TEST_F(LoadAnyTest, RoundTripsBitwiseForEveryType) {
   const la::Matrix x = random_rows(6, 8, 20);
 
-  const auto check = [&](const core::Encoder& direct, const std::string& p) {
-    std::unique_ptr<core::Encoder> loaded = model_io::load_any(p);
-    ASSERT_NE(loaded, nullptr) << p;
-    EXPECT_EQ(loaded->input_dim(), direct.input_dim()) << p;
-    EXPECT_EQ(loaded->output_dim(), direct.output_dim()) << p;
+  const auto check = [&](const core::Encoder& direct, const std::string& p,
+                         const std::string& magic) {
+    model_io::LoadedModel loaded = model_io::load_any(p);
+    ASSERT_NE(loaded.model, nullptr) << p;
+    EXPECT_EQ(loaded.magic, magic) << p;
+    EXPECT_EQ(loaded.precision, "fp32") << p;
+    EXPECT_GT(loaded.file_bytes, 8u) << p;  // magic + version at minimum
+    EXPECT_EQ(loaded.model->input_dim(), direct.input_dim()) << p;
+    EXPECT_EQ(loaded.model->output_dim(), direct.output_dim()) << p;
     la::Matrix a, b;
-    loaded->encode(x, a);
+    loaded.model->encode(x, a);
     direct.encode(x, b);
     EXPECT_TRUE(rows_bitwise_equal(a.data(), b.data(), a.size())) << p;
   };
 
   const core::SparseAutoencoder sae(core::SaeConfig{8, 5}, 1);
   core::save_model(sae, path("rt.dpae"));
-  check(sae, path("rt.dpae"));
+  check(sae, path("rt.dpae"), "DPAE");
 
   const core::Rbm rbm(core::RbmConfig{8, 5}, 2);
   core::save_model(rbm, path("rt.dprb"));
-  check(rbm, path("rt.dprb"));
+  check(rbm, path("rt.dprb"), "DPRB");
 
   const core::StackedAutoencoder stack({8, 6, 4}, core::SaeConfig{}, 3);
   core::save_model(stack, path("rt.dpsa"));
-  check(stack, path("rt.dpsa"));
+  check(stack, path("rt.dpsa"), "DPSA");
 
   const core::Dbn dbn({8, 6, 4}, core::RbmConfig{}, 4);
   core::save_model(dbn, path("rt.dpdb"));
-  check(dbn, path("rt.dpdb"));
+  check(dbn, path("rt.dpdb"), "DPDB");
 }
 
 TEST_F(LoadAnyTest, RejectsMissingFile) {
@@ -338,9 +343,9 @@ TEST(InferenceServer, ServedRowsAreBitwiseIdenticalToSingleRowEncode) {
   for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
       for (la::Index r = c; r < inputs.rows(); r += 4) {
-        std::future<std::vector<float>> fut =
+        std::future<serve::Reply> fut =
             server.submit(inputs.row(r), inputs.cols());
-        const std::vector<float> got = fut.get();
+        const std::vector<float> got = fut.get().row;
         const std::vector<float> want = encode_single(model, inputs, r);
         if (got.size() != want.size() ||
             !rows_bitwise_equal(got.data(), want.data(),
@@ -374,16 +379,18 @@ TEST(InferenceServer, AllFourModelTypesServeThroughOneCodePath) {
   const la::Matrix inputs = random_rows(12, 8, 40);
   for (const char* name : {"serve.dpae", "serve.dprb", "serve.dpsa",
                            "serve.dpdb"}) {
-    std::unique_ptr<core::Encoder> model = model_io::load_any(dir + "/" + name);
+    std::unique_ptr<core::Encoder> model =
+        model_io::load_any(dir + "/" + name).model;
     serve::ServeConfig cfg;
     cfg.max_batch = 8;
     cfg.max_delay_s = 1e-3;
     serve::InferenceServer server(*model, cfg);
-    std::vector<std::future<std::vector<float>>> futures;
+    std::vector<std::future<serve::Reply>> futures;
     for (la::Index r = 0; r < inputs.rows(); ++r)
       futures.push_back(server.submit(inputs.row(r), inputs.cols()));
     for (la::Index r = 0; r < inputs.rows(); ++r) {
-      const std::vector<float> got = futures[static_cast<std::size_t>(r)].get();
+      const std::vector<float> got =
+          futures[static_cast<std::size_t>(r)].get().row;
       const std::vector<float> want = encode_single(*model, inputs, r);
       ASSERT_EQ(got.size(), want.size()) << name;
       EXPECT_TRUE(rows_bitwise_equal(got.data(), want.data(),
@@ -401,8 +408,7 @@ TEST(InferenceServer, DeadlineFlushDispatchesPartialBatch) {
   serve::InferenceServer server(model, cfg);
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::future<std::vector<float>> fut =
-      server.submit(std::vector<float>(6, 0.5f));
+  std::future<serve::Reply> fut = server.submit(std::vector<float>(6, 0.5f));
   fut.get();
   const double waited =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -423,7 +429,7 @@ TEST(InferenceServer, CoalescesBacklogIntoOneBatch) {
   cfg.workers = 1;      // => at most 2 batches in flight
   serve::InferenceServer server(model, cfg);
 
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<serve::Reply>> futures;
   const auto submit_one = [&](float v) {
     futures.push_back(server.submit(std::vector<float>{v, v, v, v}));
   };
@@ -438,7 +444,7 @@ TEST(InferenceServer, CoalescesBacklogIntoOneBatch) {
 
   model.release();  // all 40 backlogged requests must ride ONE batch
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const std::vector<float> got = futures[i].get();
+    const std::vector<float> got = futures[i].get().row;
     ASSERT_EQ(got.size(), 4u);
     EXPECT_EQ(got[0], static_cast<float>(i)) << "scatter order broken";
   }
@@ -461,10 +467,10 @@ TEST(InferenceServer, BackpressureRejectsWhenQueueIsFull) {
   // Fill the pipeline: 1 computing + 1 queued on the pool (throttle limit),
   // then 2 parked in the queue. Every further submit must be rejected, and
   // the rejection must be an immediately-ready future, not a hang.
-  std::vector<std::future<std::vector<float>>> accepted;
+  std::vector<std::future<serve::Reply>> accepted;
   int rejected = 0;
   for (int i = 0; i < 12; ++i) {
-    std::future<std::vector<float>> fut =
+    std::future<serve::Reply> fut =
         server.submit(std::vector<float>(4, 1.0f));
     if (fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
       EXPECT_THROW(fut.get(), util::Error);
@@ -479,7 +485,7 @@ TEST(InferenceServer, BackpressureRejectsWhenQueueIsFull) {
   EXPECT_LE(server.queue_depth(), cfg.queue_capacity);
 
   model.release();
-  for (auto& f : accepted) EXPECT_EQ(f.get().size(), 4u);  // none lost
+  for (auto& f : accepted) EXPECT_EQ(f.get().row.size(), 4u);  // none lost
   server.shutdown();
   EXPECT_EQ(server.stats().completed,
             static_cast<std::int64_t>(accepted.size()));
@@ -492,7 +498,7 @@ TEST(InferenceServer, ShutdownDrainsEveryAcceptedRequest) {
   cfg.max_delay_s = 0.5;  // long deadline: shutdown must not wait it out
   serve::InferenceServer server(model, cfg);
 
-  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<std::future<serve::Reply>> futures;
   for (int i = 0; i < 100; ++i)
     futures.push_back(server.submit(std::vector<float>(6, 0.25f)));
   const auto t0 = std::chrono::steady_clock::now();
@@ -500,7 +506,7 @@ TEST(InferenceServer, ShutdownDrainsEveryAcceptedRequest) {
   const double drain =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  for (auto& f : futures) EXPECT_EQ(f.get().size(), 4u);
+  for (auto& f : futures) EXPECT_EQ(f.get().row.size(), 4u);
   const serve::ServerStats stats = server.stats();
   EXPECT_EQ(stats.completed + stats.rejected, 100);
   EXPECT_EQ(stats.failed, 0);
@@ -513,8 +519,7 @@ TEST(InferenceServer, SubmitAfterShutdownIsRejected) {
   const core::SparseAutoencoder model(core::SaeConfig{6, 4}, 70);
   serve::InferenceServer server(model, serve::ServeConfig{});
   server.shutdown();
-  std::future<std::vector<float>> fut =
-      server.submit(std::vector<float>(6, 0.0f));
+  std::future<serve::Reply> fut = server.submit(std::vector<float>(6, 0.0f));
   EXPECT_THROW(fut.get(), util::Error);
   EXPECT_EQ(server.stats().rejected, 1);
 }
@@ -528,12 +533,12 @@ TEST(InferenceServer, WrongDimensionThrowsAtSubmit) {
 
 TEST(InferenceServer, DestructorShutsDownCleanly) {
   const core::SparseAutoencoder model(core::SaeConfig{6, 4}, 90);
-  std::future<std::vector<float>> fut;
+  std::future<serve::Reply> fut;
   {
     serve::InferenceServer server(model, serve::ServeConfig{});
     fut = server.submit(std::vector<float>(6, 1.0f));
   }  // destructor drains
-  EXPECT_EQ(fut.get().size(), 4u);
+  EXPECT_EQ(fut.get().row.size(), 4u);
 }
 
 // ------------------------------------------------------------ LatencyRecorder
@@ -606,7 +611,7 @@ TEST(InferenceServer, StageHistogramsPopulateDuringServing) {
     cfg.max_batch = 16;
     cfg.max_delay_s = 0.001;
     serve::InferenceServer server(model, cfg);
-    std::vector<std::future<std::vector<float>>> futures;
+    std::vector<std::future<serve::Reply>> futures;
     for (int i = 0; i < kRequests; ++i)
       futures.push_back(server.submit(std::vector<float>(8, 0.5f)));
     for (auto& f : futures) f.get();

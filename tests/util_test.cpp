@@ -454,10 +454,12 @@ TEST(JsonReader, RoundTripsJsonWriterOutput) {
 // -------------------------------------------------------------- HttpListener
 
 TEST(HttpListener, ServesGetRequestsOnEphemeralPort) {
-  HttpListener http(0, [](const std::string& path) {
+  HttpListener http(0, [](const std::string& target) {
+    const auto [path, query] = split_target(target);
     HttpListener::Response r;
     if (path == "/hello") {
       r.body = "world";
+      if (!query.empty()) r.body += ":" + parse_query(query).at("x");
     } else if (path == "/json") {
       r.content_type = "application/json";
       r.body = "{\"ok\":true}";
@@ -470,12 +472,40 @@ TEST(HttpListener, ServesGetRequestsOnEphemeralPort) {
   ASSERT_GT(http.port(), 0);
   EXPECT_EQ(http_get("127.0.0.1", http.port(), "/hello"), "world");
   EXPECT_EQ(http_get("127.0.0.1", http.port(), "/json"), "{\"ok\":true}");
-  // Query strings are stripped before the handler sees the path.
-  EXPECT_EQ(http_get("127.0.0.1", http.port(), "/hello?x=1"), "world");
+  // Query strings reach the handler (the admin endpoint takes parameters).
+  EXPECT_EQ(http_get("127.0.0.1", http.port(), "/hello?x=1"), "world:1");
   EXPECT_THROW(http_get("127.0.0.1", http.port(), "/missing"), Error);
   EXPECT_GE(http.requests_served(), 4);
   http.stop();
   http.stop();  // idempotent
+}
+
+TEST(HttpListener, SplitTargetAndParseQuery) {
+  EXPECT_EQ(split_target("/p").first, "/p");
+  EXPECT_EQ(split_target("/p").second, "");
+  EXPECT_EQ(split_target("/p?a=1&b=2").first, "/p");
+  EXPECT_EQ(split_target("/p?a=1&b=2").second, "a=1&b=2");
+
+  const auto q = parse_query("model=small&path=%2Ftmp%2Fv2.dpsa&flag&x=a+b");
+  EXPECT_EQ(q.at("model"), "small");
+  EXPECT_EQ(q.at("path"), "/tmp/v2.dpsa");
+  EXPECT_EQ(q.at("flag"), "");
+  EXPECT_EQ(q.at("x"), "a b");
+  EXPECT_TRUE(parse_query("").empty());
+}
+
+TEST(Options, RepeatedFlagKeepsEveryValueInOrder) {
+  const char* argv[] = {"prog", "--model=a=1.dpsa", "--rate=100",
+                        "--model=b=2.dpsa:5", "--model", "c=3.dpsa"};
+  const Options opts = Options::parse(6, argv);
+  EXPECT_EQ(opts.get_string("model"), "c=3.dpsa");  // last wins for get_string
+  const auto all = opts.get_repeated("model");
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "a=1.dpsa");
+  EXPECT_EQ(all[1], "b=2.dpsa:5");
+  EXPECT_EQ(all[2], "c=3.dpsa");
+  EXPECT_EQ(opts.get_repeated("rate"), std::vector<std::string>{"100"});
+  EXPECT_TRUE(opts.get_repeated("absent").empty());
 }
 
 TEST(HttpListener, HandlerExceptionBecomesServerError) {

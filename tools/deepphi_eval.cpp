@@ -129,7 +129,7 @@ int run(int argc, char** argv) {
   }
 
   const std::string path = options.get_string("model");
-  std::unique_ptr<core::Encoder> model = model_io::load_any(path);
+  std::unique_ptr<core::Encoder> model = model_io::load_any(path).model;
   std::printf("%s\n", model->describe().c_str());
 
   data::Dataset dataset = load_data(options);

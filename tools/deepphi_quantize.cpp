@@ -44,7 +44,7 @@ int run(int argc, char** argv) {
   DEEPPHI_CHECK_MSG(options.has("out"), "--out=<path.dpqe> is required");
 
   std::unique_ptr<core::Encoder> model =
-      model_io::load_any(options.get_string("model"));
+      model_io::load_any(options.get_string("model")).model;
   std::printf("quantizing %s\n", model->describe().c_str());
 
   const auto group = static_cast<la::Index>(options.get_int("group"));
