@@ -23,18 +23,53 @@
 #                     registry-backed server under bursty Poisson arrivals:
 #                     static batching misses the tight SLO, SLO-aware
 #                     adaptive batching holds every lane inside its budget.
+#  - cluster       -> BENCH_cluster.json: bench_cluster --json — simulated
+#                     C-cards x R-replicas scaling with communication share,
+#                     the tree/rdouble/ring all-reduce sweep the
+#                     size-adaptive selection is built on, and a real
+#                     cluster-attached training run.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [name...]
-#   build-dir defaults to "build"; names default to all of
-#   simd data_parallel quant serve_tail serve_registry.
+#   Names default to all snapshots. The first argument is taken as the
+#   build directory only when it is not a snapshot name AND is an existing
+#   directory (or contains a '/'); it defaults to "build". Spell a fresh
+#   build directory with a path form ("./mybuild") so a mistyped snapshot
+#   name fails instead of silently becoming a build directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
-shift $(( $# > 0 ? 1 : 0 ))
+
+KNOWN=(simd data_parallel quant serve_tail serve_registry cluster)
+
+is_known() {
+  local n
+  for n in "${KNOWN[@]}"; do
+    [ "$n" = "$1" ] && return 0
+  done
+  return 1
+}
+
+usage() {
+  echo "usage: scripts/bench_snapshot.sh [build-dir] [name...]" >&2
+  echo "valid snapshot names: ${KNOWN[*]}" >&2
+  exit 2
+}
+
+BUILD_DIR=build
+if [ $# -gt 0 ] && ! is_known "$1"; then
+  case "$1" in
+    */*) BUILD_DIR="$1"; shift ;;
+    *) if [ -d "$1" ]; then
+         BUILD_DIR="$1"; shift
+       else
+         echo "unknown snapshot '$1'" >&2
+         usage
+       fi ;;
+  esac
+fi
 NAMES=("$@")
 if [ ${#NAMES[@]} -eq 0 ]; then
-  NAMES=(simd data_parallel quant serve_tail serve_registry)
+  NAMES=("${KNOWN[@]}")
 fi
 
 TARGETS=(deepphi_json_check)
@@ -45,8 +80,9 @@ for name in "${NAMES[@]}"; do
     quant)         TARGETS+=(bench_quant) ;;
     serve_tail)    TARGETS+=(bench_serve_tail) ;;
     serve_registry) TARGETS+=(bench_serve_registry) ;;
-    *) echo "unknown snapshot '$name' (known: simd data_parallel quant serve_tail serve_registry)" >&2
-       exit 2 ;;
+    cluster)       TARGETS+=(bench_cluster) ;;
+    *) echo "unknown snapshot '$name'" >&2
+       usage ;;
   esac
 done
 
@@ -113,6 +149,14 @@ snapshot_serve_registry() {
   local out="BENCH_serve_registry.json"
   "$BUILD_DIR/bench/bench_serve_registry" --seconds=2 --json="$out"
   validate "$out" --require=budget_ms --require=p99_ms --require=slo_met
+  echo "snapshot written to $out"
+}
+
+snapshot_cluster() {
+  local out="BENCH_cluster.json"
+  "$BUILD_DIR/bench/bench_cluster" --json="$out"
+  validate "$out" --require=comm_share --require=auto_alg \
+    --require=best_fixed --require=speedup
   echo "snapshot written to $out"
 }
 

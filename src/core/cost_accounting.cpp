@@ -476,6 +476,61 @@ phi::KernelStats quant_encode_stats(la::Index batch,
   return k;
 }
 
+phi::KernelStats sae_cluster_train_stats(const TrainShape& run,
+                                         const SaeShape& shape,
+                                         const ClusterShape& cl, OptLevel level,
+                                         OptimizerKind opt) {
+  DEEPPHI_CHECK_MSG(cl.cards >= 1, "cards must be >= 1");
+  return sae_dp_train_stats(run, shape, cl.as_data_parallel(), level, opt);
+}
+
+phi::KernelStats rbm_cluster_train_stats(const TrainShape& run,
+                                         const RbmShape& shape,
+                                         const ClusterShape& cl, OptLevel level,
+                                         OptimizerKind opt) {
+  DEEPPHI_CHECK_MSG(cl.cards >= 1, "cards must be >= 1");
+  return rbm_dp_train_stats(run, shape, cl.as_data_parallel(), level, opt);
+}
+
+phi::KernelStats cluster_card_combine_stats(
+    const std::vector<la::Index>& buffer_sizes, int card_live_slots,
+    int global_live_slots, bool root, OptimizerKind opt) {
+  DEEPPHI_CHECK_MSG(card_live_slots >= 0, "negative live slot count");
+  DEEPPHI_CHECK_MSG(global_live_slots >= card_live_slots,
+                    "card has more live slots than the whole step");
+  KernelStats k;
+  for (const la::Index n : buffer_sizes) {
+    for (int edge = 0; edge < card_live_slots - 1; ++edge)
+      k += loop_contribution(n, 2.0, 2.0, 1.0);  // local tree axpy
+    if (root) {
+      if (global_live_slots > 1)
+        k += loop_contribution(n, 1.0, 1.0, 1.0);  // mean scal
+      k += optimizer_update(n, opt);
+    }
+  }
+  return k;
+}
+
+ClusterCommReplay cluster_comm_replay(const TrainShape& run,
+                                      const ClusterShape& cl,
+                                      double message_bytes,
+                                      par::Collective algorithm,
+                                      const phi::InterconnectSpec& link) {
+  DEEPPHI_CHECK_MSG(algorithm != par::Collective::kAuto,
+                    "cluster_comm_replay needs a concrete algorithm "
+                    "(resolve_collective first)");
+  ClusterCommReplay replay;
+  if (cl.cards <= 1) return replay;  // nothing crosses a link
+  const std::int64_t updates = dp_train_updates(run, cl.as_data_parallel());
+  const par::CollectiveSchedule sched =
+      par::all_reduce_schedule(algorithm, message_bytes, cl.cards);
+  replay.seconds = static_cast<double>(updates) * sched.time_s(link);
+  replay.wire_bytes = static_cast<double>(updates) * sched.wire_bytes;
+  replay.rounds = updates * sched.rounds;
+  replay.collectives = updates;
+  return replay;
+}
+
 std::int64_t dp_train_updates(const TrainShape& run,
                               const DataParallelShape& dp) {
   const la::Index group_capacity =

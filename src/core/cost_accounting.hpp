@@ -17,6 +17,7 @@
 #include "core/levels.hpp"
 #include "core/optimizer.hpp"
 #include "la/matrix.hpp"
+#include "parallel/collectives.hpp"
 #include "phi/kernel_stats.hpp"
 
 namespace deepphi::core {
@@ -115,6 +116,61 @@ phi::KernelStats rbm_dp_train_stats(const TrainShape& run,
 /// Number of optimizer updates a data-parallel run applies.
 std::int64_t dp_train_updates(const TrainShape& run,
                               const DataParallelShape& dp);
+
+// --- cluster accounting (docs/cluster.md) ---
+
+/// Geometry of a multi-card run: S = replicas × accumulation_steps × cards
+/// global gradient slots per step, card c owning the contiguous slot block
+/// [c·R·A, (c+1)·R·A).
+struct ClusterShape {
+  int replicas = 1;
+  int accumulation_steps = 1;
+  int cards = 1;
+  int global_slots() const { return replicas * accumulation_steps * cards; }
+  /// The flat data-parallel view: the trainer's functional work depends only
+  /// on the global slot count, never on the card split.
+  DataParallelShape as_data_parallel() const {
+    return DataParallelShape{replicas * cards, accumulation_steps};
+  }
+};
+
+/// Host-side work of a cluster run — identical to the data-parallel replay
+/// at S = global_slots(), because the trainer keeps the flat global combine
+/// (cards change WHERE work is charged, not what runs; docs/cluster.md).
+phi::KernelStats sae_cluster_train_stats(const TrainShape& run,
+                                         const SaeShape& shape,
+                                         const ClusterShape& cl, OptLevel level,
+                                         OptimizerKind opt = OptimizerKind::kSgd);
+phi::KernelStats rbm_cluster_train_stats(const TrainShape& run,
+                                         const RbmShape& shape,
+                                         const ClusterShape& cl, OptLevel level,
+                                         OptimizerKind opt = OptimizerKind::kSgd);
+
+/// One card's share of a global step's combine under the cluster charging
+/// model: the card folds its own live slots with a local tree (live−1 axpy
+/// contributions per buffer); the root card additionally applies the mean
+/// scal (when any combining happened globally) and the optimizer update
+/// after the inter-card all-reduce. Summed over cards plus the collective's
+/// data movement, this accounts for the same reduction the flat tree runs.
+phi::KernelStats cluster_card_combine_stats(
+    const std::vector<la::Index>& buffer_sizes, int card_live_slots,
+    int global_live_slots, bool root, OptimizerKind opt);
+
+/// Modeled interconnect activity of a full cluster run: one all-reduce of
+/// `message_bytes` per optimizer update, under `algorithm`'s schedule on
+/// `link`. Pinned equal to phi::Cluster's measured accumulation by
+/// tests/cluster_test.cpp.
+struct ClusterCommReplay {
+  double seconds = 0;
+  double wire_bytes = 0;
+  std::int64_t rounds = 0;
+  std::int64_t collectives = 0;
+};
+ClusterCommReplay cluster_comm_replay(const TrainShape& run,
+                                      const ClusterShape& cl,
+                                      double message_bytes,
+                                      par::Collective algorithm,
+                                      const phi::InterconnectSpec& link);
 
 // --- quantized inference accounting (docs/serving.md "Precision") ---
 

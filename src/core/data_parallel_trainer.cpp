@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/cost_accounting.hpp"
 #include "core/train_loop.hpp"
 #include "data/chunk_stream.hpp"
 #include "la/blas1.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "parallel/collectives.hpp"
 #include "parallel/replica_group.hpp"
+#include "phi/cluster.hpp"
+#include "phi/interconnect.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::core {
@@ -52,6 +56,9 @@ struct SaeOps {
   static double model_bytes(const SparseAutoencoder& m) {
     return 4.0 * static_cast<double>(m.param_count());
   }
+  static std::vector<la::Index> buffer_sizes(const SparseAutoencoder& m) {
+    return {m.w1().size(), m.b1().size(), m.w2().size(), m.b2().size()};
+  }
 };
 
 struct RbmOps {
@@ -84,6 +91,9 @@ struct RbmOps {
     return 4.0 * static_cast<double>(m.w().size() + m.b().size() +
                                      m.c().size());
   }
+  static std::vector<la::Index> buffer_sizes(const Rbm& m) {
+    return {m.w().size(), m.b().size(), m.c().size()};
+  }
 };
 
 template <typename Ops, typename Model>
@@ -91,7 +101,9 @@ TrainReport run_dp(const TrainerConfig& config, Model& model,
                    const data::Dataset& dataset) {
   const int R = config.replicas;
   const int A = config.accumulation_steps;
-  const int S = R * A;
+  const int C = config.cards;
+  const int S = R * A * C;
+  phi::Cluster* cluster = config.cluster;
   const la::Index dim = model.visible();
   const bool fused = is_fused(config.level);
 
@@ -112,21 +124,46 @@ TrainReport run_dp(const TrainerConfig& config, Model& model,
   // One global step consumes up to S micro-batches of the chunk at once.
   const la::Index group_capacity =
       static_cast<la::Index>(S) * config.batch_size;
-  // Arena: model + S gradient slots, R concurrent 4-matrix workspaces.
+  // Arena (per card under a cluster): model + the card's R·A gradient
+  // slots, R concurrent 4-matrix workspaces.
   const double model_bytes = Ops::model_bytes(model);
+  const double arena_model_bytes =
+      model_bytes * (1.0 + static_cast<double>(cluster ? R * A : S));
   const double workspace_bytes = 4.0 * 4.0 *
                                  static_cast<double>(config.batch_size) * dim *
                                  static_cast<double>(R);
 
+  // The inter-card combine's modeled schedule: one all-reduce of the full
+  // gradient per optimizer update, with the algorithm resolved ONCE for the
+  // run from the gradient message size and the active interconnect (the
+  // functional combine below never changes with it — docs/cluster.md).
+  const std::vector<la::Index> buffer_sizes = Ops::buffer_sizes(model);
+  par::CollectiveSchedule comm_schedule;
+  double comm_step_s = 0.0;
+  if (C > 1) {
+    const phi::InterconnectSpec link =
+        cluster ? cluster->interconnect() : phi::pcie_p2p_interconnect();
+    const par::Collective algorithm =
+        par::resolve_collective(config.collective, model_bytes, C, link);
+    comm_schedule = par::all_reduce_schedule(algorithm, model_bytes, C);
+    comm_step_s = comm_schedule.time_s(link);
+  }
+
   std::vector<double> slot_cost(static_cast<std::size_t>(S), 0.0);
-  std::vector<phi::KernelStats> replica_stats(static_cast<std::size_t>(R));
+  // One stats sink per (card, replica) pair, indexed c·R + r.
+  std::vector<phi::KernelStats> worker_stats(static_cast<std::size_t>(C * R));
   std::vector<int> live;
   live.reserve(static_cast<std::size_t>(S));
 
   return detail::run_train_loop(
-      config, dataset, dim, model_bytes * (1.0 + S), workspace_bytes,
+      config, dataset, dim, arena_model_bytes, workspace_bytes,
       [&](const la::Matrix& chunk) {
         detail::ChunkOutcome outcome;
+        if (cluster) {
+          outcome.card_stats.assign(static_cast<std::size_t>(C),
+                                    phi::KernelStats{});
+          outcome.card_h2d_bytes.assign(static_cast<std::size_t>(C), 0.0);
+        }
         for (la::Index begin = 0; begin < chunk.rows();
              begin += group_capacity) {
           const la::Index rows = std::min(group_capacity, chunk.rows() - begin);
@@ -134,35 +171,42 @@ TrainReport run_dp(const TrainerConfig& config, Model& model,
           // never empty, so the combined gradient always lands in slot 0.
           const std::vector<data::RowShard> shards = data::shard_rows(rows, S);
           std::fill(slot_cost.begin(), slot_cost.end(), 0.0);
-          std::fill(replica_stats.begin(), replica_stats.end(),
+          std::fill(worker_stats.begin(), worker_stats.end(),
                     phi::KernelStats{});
           group.run([&](int r) {
-            // Per-replica stats sink: StatsScope is thread-local, so each
-            // replica worker measures into its own KernelStats; the sinks
-            // merge below in replica order, keeping the chunk record
-            // deterministic.
-            phi::StatsScope sink(replica_stats[static_cast<std::size_t>(r)]);
             auto& batch = staging[static_cast<std::size_t>(r)];
             auto& workspace = ws[static_cast<std::size_t>(r)];
-            for (int a = 0; a < A; ++a) {
-              const int slot = r * A + a;
-              const data::RowShard& shard =
-                  shards[static_cast<std::size_t>(slot)];
-              if (shard.rows == 0) continue;  // ragged tail: slot sits out
-              DEEPPHI_PROFILE_SCOPE("trainer.batch");
-              detail::slice_batch(chunk, begin + shard.begin, shard.rows,
-                                  batch);
-              const util::Rng slot_rng = sampling_base.split(
-                  static_cast<std::uint64_t>(update_index) *
-                      static_cast<std::uint64_t>(S) +
-                  static_cast<std::uint64_t>(slot));
-              slot_cost[static_cast<std::size_t>(slot)] = Ops::gradient(
-                  model, batch, workspace,
-                  grads[static_cast<std::size_t>(slot)], slot_rng, fused);
+            // Replica r sweeps the cards in order, computing slot
+            // (c·R + r)·A + a of card c — so card c's slot block is the
+            // contiguous [c·R·A, (c+1)·R·A) and C == 1 degenerates to the
+            // original slot = r·A + a loop exactly.
+            for (int c = 0; c < C; ++c) {
+              // Per-(card, replica) stats sink: StatsScope is thread-local,
+              // so each worker measures its share of each card into its own
+              // KernelStats; the sinks merge below in (card, replica) order,
+              // keeping the chunk record deterministic.
+              phi::StatsScope sink(
+                  worker_stats[static_cast<std::size_t>(c * R + r)]);
+              for (int a = 0; a < A; ++a) {
+                const int slot = (c * R + r) * A + a;
+                const data::RowShard& shard =
+                    shards[static_cast<std::size_t>(slot)];
+                if (shard.rows == 0) continue;  // ragged tail: slot sits out
+                DEEPPHI_PROFILE_SCOPE("trainer.batch");
+                detail::slice_batch(chunk, begin + shard.begin, shard.rows,
+                                    batch);
+                const util::Rng slot_rng = sampling_base.split(
+                    static_cast<std::uint64_t>(update_index) *
+                        static_cast<std::uint64_t>(S) +
+                    static_cast<std::uint64_t>(slot));
+                slot_cost[static_cast<std::size_t>(slot)] = Ops::gradient(
+                    model, batch, workspace,
+                    grads[static_cast<std::size_t>(slot)], slot_rng, fused);
+              }
             }
           });
-          for (int r = 0; r < R; ++r)
-            phi::record(replica_stats[static_cast<std::size_t>(r)]);
+          for (int i = 0; i < C * R; ++i)
+            phi::record(worker_stats[static_cast<std::size_t>(i)]);
 
           live.clear();
           for (int s = 0; s < S; ++s)
@@ -192,6 +236,38 @@ TrainReport run_dp(const TrainerConfig& config, Model& model,
             ++outcome.batches;
             outcome.final_cost = slot_cost[static_cast<std::size_t>(s)];
           }
+          if (cluster) {
+            // Charge the step to the cards: card c's timeline gets its
+            // replicas' measured gradient work plus its analytic combine
+            // share (cost_accounting keeps this equal to what the flat tree
+            // really ran), its shards' h2d bytes, and — per update — the
+            // resolved collective schedule on the interconnect.
+            for (int c = 0; c < C; ++c) {
+              auto& card = outcome.card_stats[static_cast<std::size_t>(c)];
+              for (int r = 0; r < R; ++r)
+                card += worker_stats[static_cast<std::size_t>(c * R + r)];
+              int card_live = 0;
+              la::Index card_rows = 0;
+              for (int s = c * R * A; s < (c + 1) * R * A; ++s) {
+                const data::RowShard& shard =
+                    shards[static_cast<std::size_t>(s)];
+                if (shard.rows > 0) ++card_live;
+                card_rows += shard.rows;
+              }
+              card += cluster_card_combine_stats(
+                  buffer_sizes, card_live, static_cast<int>(live.size()),
+                  /*root=*/c == 0, config.optimizer.kind);
+              outcome.card_h2d_bytes[static_cast<std::size_t>(c)] +=
+                  4.0 * static_cast<double>(card_rows) *
+                  static_cast<double>(dim);
+            }
+            if (C > 1) {
+              outcome.comm_seconds += comm_step_s;
+              outcome.comm_wire_bytes += comm_schedule.wire_bytes;
+              outcome.comm_rounds += comm_schedule.rounds;
+              outcome.comm_collectives += 1;
+            }
+          }
         }
         return outcome;
       });
@@ -213,6 +289,7 @@ DataParallelTrainer::DataParallelTrainer(TrainerConfig config)
                     "replica_threads must be >= 0 (0 = auto)");
   DEEPPHI_CHECK_MSG(config.accumulation_steps >= 1,
                     "accumulation_steps must be >= 1");
+  DEEPPHI_CHECK_MSG(config.cards >= 1, "cards must be >= 1");
   DEEPPHI_CHECK_MSG(is_matrix_form(config.level),
                     "data-parallel training requires a matrix-form level "
                     "(the loop-form ladder levels fuse update into gradient)");

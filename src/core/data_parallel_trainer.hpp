@@ -7,11 +7,13 @@
 // and a deterministic binary-tree all-reduce combines the slots before one
 // optimizer update.
 //
-// Determinism contract (tested in tests/data_parallel_test.cpp):
-//   - A global step has S = replicas × accumulation_steps slots. Slot row
-//     ranges come from data::shard_rows(group_rows, S), and a slot's RNG
-//     stream is split(update_index·S + slot): both depend only on the data
-//     and S, never on which replica ran the slot or with how many threads.
+// Determinism contract (tested in tests/data_parallel_test.cpp and
+// tests/cluster_test.cpp):
+//   - A global step has S = replicas × accumulation_steps × cards slots.
+//     Slot row ranges come from data::shard_rows(group_rows, S), and a
+//     slot's RNG stream is split(update_index·S + slot): both depend only on
+//     the data and S, never on which replica or card ran the slot or with
+//     how many threads.
 //   - The combine is a fixed binary tree over the live (non-empty) slots in
 //     ascending slot order, then a mean-scale — no atomics, no arrival
 //     order. Kernels are thread-count invariant, so a fixed seed and fixed S
@@ -20,6 +22,12 @@
 //   - With S == 1 the slot degenerates to the single-team trainer's batch:
 //     same kernel sequence, same RNG streams, zero combine work — the
 //     trained parameters match core::Trainer bit for bit.
+//   - cards > 1 (docs/cluster.md) only re-labels WHERE slots live — card c
+//     owns the contiguous block [c·R·A, (c+1)·R·A) — and charges the
+//     modeled inter-card all-reduce to the cluster's interconnect. The
+//     functional combine stays the flat global tree, so any factorization
+//     of S into replicas × accumulation_steps × cards trains bit-identical
+//     parameters.
 #pragma once
 
 #include "core/trainer.hpp"
@@ -27,17 +35,19 @@
 namespace deepphi::core {
 
 /// Data-parallel twin of core::Trainer. Trainer::train delegates here when
-/// config.replicas > 1 or config.accumulation_steps > 1; constructing one
-/// directly also accepts S == 1 (used by the parity tests). Requires a
-/// matrix-form level and no task graph.
+/// config.replicas > 1, config.accumulation_steps > 1, or config.cards > 1;
+/// constructing one directly also accepts S == 1 (used by the parity
+/// tests). Requires a matrix-form level and no task graph.
 class DataParallelTrainer {
  public:
   explicit DataParallelTrainer(TrainerConfig config);
 
   const TrainerConfig& config() const { return config_; }
 
-  /// Gradient slots per global step (replicas × accumulation_steps).
-  int slots() const { return config_.replicas * config_.accumulation_steps; }
+  /// Gradient slots per global step (replicas × accumulation_steps × cards).
+  int slots() const {
+    return config_.replicas * config_.accumulation_steps * config_.cards;
+  }
 
   TrainReport train(SparseAutoencoder& model, const data::Dataset& dataset);
   TrainReport train(Rbm& model, const data::Dataset& dataset);

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "core/trainer.hpp"
@@ -21,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
+#include "phi/cluster.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -43,6 +45,16 @@ struct ChunkOutcome {
   std::int64_t batches = 0;  // micro-batch gradient evaluations
   std::int64_t updates = 0;  // optimizer steps applied
   double final_cost = 0;     // cost of the chunk's last micro-batch
+
+  // Cluster charging (populated only when config.cluster drives the run):
+  // per-card modeled compute and shard-transfer bytes for the chunk, plus
+  // the chunk's accumulated collective schedule on the interconnect.
+  std::vector<phi::KernelStats> card_stats;
+  std::vector<double> card_h2d_bytes;
+  double comm_seconds = 0;
+  double comm_wire_bytes = 0;
+  std::int64_t comm_rounds = 0;
+  std::int64_t comm_collectives = 0;
 };
 
 // RAII over the device-arena reservations a monitored training run makes.
@@ -75,10 +87,48 @@ class DeviceReservation {
   std::vector<phi::Device::BufferId> ids_;
 };
 
+// Same, over every card of a cluster: each card reserves ITS copy of the
+// model + its slot block's gradients, its replicas' workspaces, and its
+// 1/cards share of the chunk ring (the loading thread scatters each chunk's
+// shards to the cards that own them).
+class ClusterReservation {
+ public:
+  ClusterReservation(phi::Cluster* cluster, double card_model_bytes,
+                     double card_workspace_bytes, double card_ring_bytes)
+      : cluster_(cluster) {
+    if (!cluster_) return;
+    try {
+      for (int c = 0; c < cluster_->cards(); ++c) {
+        phi::Device& dev = cluster_->device(c);
+        ids_.emplace_back(c, dev.alloc("model+gradients", card_model_bytes));
+        ids_.emplace_back(c, dev.alloc("workspace", card_workspace_bytes));
+        ids_.emplace_back(c, dev.alloc("chunk-ring", card_ring_bytes));
+      }
+    } catch (...) {
+      release();
+      throw;
+    }
+  }
+  ~ClusterReservation() { release(); }
+  ClusterReservation(const ClusterReservation&) = delete;
+  ClusterReservation& operator=(const ClusterReservation&) = delete;
+
+ private:
+  void release() {
+    if (!cluster_) return;
+    for (const auto& [card, id] : ids_) cluster_->device(card).free(id);
+    ids_.clear();
+  }
+
+  phi::Cluster* cluster_;
+  std::vector<std::pair<int, phi::Device::BufferId>> ids_;
+};
+
 /// Runs the chunked training loop over `dataset`. `process(chunk)` performs
 /// the chunk's gradient work (called inside a StatsScope that captures the
 /// chunk's KernelStats) and returns its ChunkOutcome. `model_bytes` /
-/// `workspace_bytes` size the device-arena reservation for a monitored run.
+/// `workspace_bytes` size the device-arena reservation for a monitored run —
+/// PER CARD when config.cluster drives the run, whole-run otherwise.
 template <typename ChunkFn>
 TrainReport run_train_loop(const TrainerConfig& config,
                            const data::Dataset& dataset, la::Index dim,
@@ -89,6 +139,15 @@ TrainReport run_train_loop(const TrainerConfig& config,
                     "dataset dim " << dataset.dim() << " != model visible "
                                    << dim);
   DEEPPHI_CHECK_MSG(!dataset.empty(), "empty dataset");
+  DEEPPHI_CHECK_MSG(!(config.device && config.cluster),
+                    "config.device and config.cluster are mutually exclusive "
+                    "(a cluster owns its per-card devices)");
+  phi::Cluster* cluster = config.cluster;
+  if (cluster)
+    DEEPPHI_CHECK_MSG(cluster->cards() == config.cards,
+                      "config.cards (" << config.cards
+                                       << ") != cluster cards ("
+                                       << cluster->cards() << ")");
 
   TrainReport report;
   report.chunk_bytes = 4.0 * static_cast<double>(config.chunk_examples) * dim;
@@ -96,9 +155,13 @@ TrainReport run_train_loop(const TrainerConfig& config,
   phi::StatsScope scope(report.stats);
 
   phi::Device* device = config.device;
-  DeviceReservation reservation(
-      device, model_bytes, workspace_bytes,
-      static_cast<double>(config.ring_chunks) * report.chunk_bytes);
+  const double ring_bytes =
+      static_cast<double>(config.ring_chunks) * report.chunk_bytes;
+  DeviceReservation reservation(device, model_bytes, workspace_bytes,
+                                ring_bytes);
+  ClusterReservation cluster_reservation(
+      cluster, model_bytes, workspace_bytes,
+      cluster ? ring_bytes / cluster->cards() : 0.0);
   const bool async_loading = config.policy == ExecPolicy::kPhiOffload;
   std::vector<double> slot_free(config.ring_chunks, 0.0);
   double last_compute_end = 0.0;
@@ -151,6 +214,22 @@ TrainReport run_train_loop(const TrainerConfig& config,
         slot_free[static_cast<std::size_t>(report.chunks) %
                   config.ring_chunks] = compute_end;
         last_compute_end = compute_end;
+      }
+      if (cluster) {
+        // The cluster analogue of the device branch: each card DMAs its
+        // shards and computes its share, then the chunk's collectives occupy
+        // the interconnect; the step barrier frees the ring slot.
+        const std::size_t slot =
+            static_cast<std::size_t>(report.chunks) % config.ring_chunks;
+        double ready = slot_free[slot];
+        if (!async_loading) ready = std::max(ready, last_compute_end);
+        const double barrier = cluster->submit_step(
+            "chunk[" + std::to_string(report.chunks) + "]", outcome.card_stats,
+            outcome.card_h2d_bytes, outcome.comm_seconds,
+            outcome.comm_wire_bytes, outcome.comm_rounds,
+            outcome.comm_collectives, ready);
+        slot_free[slot] = barrier;
+        last_compute_end = barrier;
       }
 
       report.batches += outcome.batches;

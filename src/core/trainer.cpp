@@ -36,11 +36,12 @@ Trainer::Trainer(TrainerConfig config) : config_(config) {
                     "replica_threads must be >= 0 (0 = auto)");
   DEEPPHI_CHECK_MSG(config.accumulation_steps >= 1,
                     "accumulation_steps must be >= 1");
-  const bool data_parallel =
-      config.replicas > 1 || config.accumulation_steps > 1;
+  DEEPPHI_CHECK_MSG(config.cards >= 1, "cards must be >= 1");
+  const bool data_parallel = config.replicas > 1 ||
+                             config.accumulation_steps > 1 || config.cards > 1;
   DEEPPHI_CHECK_MSG(!data_parallel || is_matrix_form(config.level),
-                    "data-parallel training (replicas/accumulation) requires "
-                    "a matrix-form level");
+                    "data-parallel training (replicas/accumulation/cards) "
+                    "requires a matrix-form level");
   DEEPPHI_CHECK_MSG(!data_parallel || !config.use_taskgraph,
                     "the Fig. 6 task graph cannot be combined with "
                     "data-parallel replicas");
@@ -79,7 +80,8 @@ TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
 
 TrainReport Trainer::train(SparseAutoencoder& model,
                            const data::Dataset& dataset) {
-  if (config_.replicas > 1 || config_.accumulation_steps > 1)
+  if (config_.replicas > 1 || config_.accumulation_steps > 1 ||
+      config_.cards > 1 || config_.cluster)
     return DataParallelTrainer(config_).train(model, dataset);
   SparseAutoencoder::Workspace ws;
   AeGradients grads;
@@ -107,7 +109,8 @@ TrainReport Trainer::train(SparseAutoencoder& model,
 }
 
 TrainReport Trainer::train(Rbm& model, const data::Dataset& dataset) {
-  if (config_.replicas > 1 || config_.accumulation_steps > 1)
+  if (config_.replicas > 1 || config_.accumulation_steps > 1 ||
+      config_.cards > 1 || config_.cluster)
     return DataParallelTrainer(config_).train(model, dataset);
   Rbm::Workspace ws;
   RbmGradients grads;

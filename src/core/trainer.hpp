@@ -22,12 +22,17 @@
 #include "core/rbm.hpp"
 #include "core/sparse_autoencoder.hpp"
 #include "data/dataset.hpp"
+#include "parallel/collectives.hpp"
 #include "phi/cost_model.hpp"
 #include "phi/device.hpp"
 #include "phi/offload.hpp"
 
 namespace deepphi::obs {
 class TelemetrySink;
+}
+
+namespace deepphi::phi {
+class Cluster;
 }
 
 namespace deepphi::core {
@@ -61,6 +66,21 @@ struct TrainerConfig {
   int replica_threads = 0;
   /// Gradient slots each replica evaluates sequentially per global step.
   int accumulation_steps = 1;
+  /// Simulated cards the global step spreads over (docs/cluster.md). A
+  /// global step then has S = replicas × accumulation_steps × cards slots;
+  /// card c owns the contiguous block [c·R·A, (c+1)·R·A), computed by the
+  /// same R replica workers sweeping the cards in order. The functional
+  /// combine stays the flat global-slot tree, so trained parameters are
+  /// bitwise invariant to ANY (replicas, accumulation_steps, cards)
+  /// factorization of S — the inter-card all-reduce exists as a modeled
+  /// communication schedule charged to the cluster's interconnect, never as
+  /// a different summation order. cards > 1 has the same requirements as
+  /// replicas > 1 (matrix-form level, no task graph).
+  int cards = 1;
+  /// All-reduce algorithm the modeled inter-card combine is charged as;
+  /// kAuto picks the cheapest schedule for the gradient message size on the
+  /// active interconnect. DEEPPHI_COLLECTIVE overrides either way.
+  par::Collective collective = par::Collective::kAuto;
   /// Update rule for the matrix-form levels; the loop-form levels (Baseline /
   /// OpenMP) always use plain SGD at optimizer.lr, matching the paper's
   /// unoptimized code.
@@ -76,6 +96,13 @@ struct TrainerConfig {
   /// and one compute event per chunk of training. The populated trace is
   /// available on the device afterwards. The device must outlive train().
   phi::Device* device = nullptr;
+  /// Optional simulated multi-card cluster (requires cards > 1 matching
+  /// cluster->cards(); mutually exclusive with `device`). Each card's arena
+  /// takes its share of the reservation, each card's timeline is driven by
+  /// its replicas' measured work plus its analytic combine share, and the
+  /// per-update collective schedule occupies the interconnect between
+  /// steps. The cluster must outlive train().
+  phi::Cluster* cluster = nullptr;
   /// Optional JSONL telemetry sink: train() emits one record per chunk
   /// (cost, batches/s, GF/s, ring occupancy, wall seconds), one per epoch,
   /// and a run_summary with the metrics-registry snapshot. The sink must

@@ -1,0 +1,56 @@
+#include "phi/interconnect.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace deepphi::phi {
+
+double InterconnectSpec::message_time_s(double bytes) const {
+  const double per_hop =
+      link_latency_us * 1e-6 +
+      (link_gb_s > 0 ? bytes / (link_gb_s * 1e9) : 0.0);
+  return hops * per_hop;
+}
+
+std::string InterconnectSpec::to_string() const {
+  std::ostringstream os;
+  os << name << ": " << link_gb_s << " GB/s per hop, " << link_latency_us
+     << " us latency, " << hops << (hops == 1 ? " hop" : " hops")
+     << (shared_medium ? ", shared medium" : ", concurrent links");
+  return os.str();
+}
+
+InterconnectSpec pcie_p2p_interconnect() {
+  InterconnectSpec ic;
+  ic.name = "pcie-p2p";
+  // The testbed's raw PCIe copy path (machine_spec.cpp pins 6 GB/s / 15 us
+  // for host<->card); peer DMA adds switch routing on top of the doorbell.
+  ic.link_gb_s = 6.0;
+  ic.link_latency_us = 25.0;
+  ic.hops = 1;
+  ic.shared_medium = false;
+  return ic;
+}
+
+InterconnectSpec host_staged_interconnect() {
+  InterconnectSpec ic;
+  ic.name = "host-staged";
+  ic.link_gb_s = 6.0;
+  ic.link_latency_us = 15.0;
+  ic.hops = 2;  // d2h into the bounce buffer, then h2d to the peer
+  ic.shared_medium = true;
+  return ic;
+}
+
+InterconnectSpec parse_interconnect(const std::string& name) {
+  const std::string v = util::to_lower(name);
+  if (v == "pcie" || v == "p2p" || v == "pcie-p2p")
+    return pcie_p2p_interconnect();
+  if (v == "host" || v == "host-staged") return host_staged_interconnect();
+  throw util::Error("unknown interconnect '" + name +
+                    "' (pcie-p2p | host-staged)");
+}
+
+}  // namespace deepphi::phi

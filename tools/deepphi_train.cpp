@@ -29,6 +29,10 @@
 #include "data/idx_io.hpp"
 #include "data/patches.hpp"
 #include "la/simd/dispatch.hpp"
+#include "parallel/collectives.hpp"
+#include "phi/cluster.hpp"
+#include "phi/interconnect.hpp"
+#include "phi/machine_spec.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "util/logging.hpp"
@@ -93,7 +97,7 @@ void print_report(const char* label, const core::TrainReport& report) {
 // Per-slot row counts of one full gradient group, e.g. "128,128,128,128" —
 // the shard layout every full group of the run uses (ragged tails shrink it).
 std::string shard_layout(const core::TrainerConfig& tcfg) {
-  const int slots = tcfg.replicas * tcfg.accumulation_steps;
+  const int slots = tcfg.replicas * tcfg.accumulation_steps * tcfg.cards;
   const la::Index group = std::min(
       static_cast<la::Index>(slots) * tcfg.batch_size, tcfg.chunk_examples);
   std::string out;
@@ -132,6 +136,14 @@ int run(int argc, char** argv) {
                   "OpenMP threads per replica (0 = split evenly)", "0");
   options.declare("accum",
                   "gradient accumulation steps per replica per update", "1");
+  options.declare("cards",
+                  "simulated Xeon Phi cards the global step spreads over "
+                  "(docs/cluster.md)", "1");
+  options.declare("interconnect",
+                  "inter-card path: pcie-p2p | host-staged", "pcie-p2p");
+  options.declare("collective",
+                  "inter-card all-reduce: auto | tree | rdouble | ring "
+                  "(DEEPPHI_COLLECTIVE overrides)", "auto");
   options.declare("cd-k", "contrastive divergence steps (rbm/dbn)", "1");
   options.declare("gaussian-visible", "Gaussian visible units (rbm/dbn)");
   options.declare("taskgraph", "run the RBM step as the Fig. 6 task graph");
@@ -175,6 +187,19 @@ int run(int argc, char** argv) {
   tcfg.replicas = static_cast<int>(options.get_int("replicas"));
   tcfg.replica_threads = static_cast<int>(options.get_int("replica-threads"));
   tcfg.accumulation_steps = static_cast<int>(options.get_int("accum"));
+  tcfg.cards = static_cast<int>(options.get_int("cards"));
+  tcfg.collective = par::parse_collective(options.get_string("collective"));
+  std::unique_ptr<phi::Cluster> cluster;
+  if (tcfg.cards > 1) {
+    phi::ClusterConfig ccfg;
+    ccfg.cards = tcfg.cards;
+    ccfg.interconnect =
+        phi::parse_interconnect(options.get_string("interconnect"));
+    cluster = std::make_unique<phi::Cluster>(phi::xeon_phi_5110p(), ccfg);
+    tcfg.cluster = cluster.get();
+    std::printf("cluster: %d cards, %s\n", tcfg.cards,
+                ccfg.interconnect.to_string().c_str());
+  }
   tcfg.optimizer.kind = parse_optimizer(options.get_string("optimizer"));
   tcfg.optimizer.lr = static_cast<float>(options.get_double("lr"));
   tcfg.seed = static_cast<std::uint64_t>(options.get_int("seed"));
@@ -209,10 +234,22 @@ int run(int argc, char** argv) {
          TelemetryField::integer("replica_threads", tcfg.replica_threads),
          TelemetryField::integer("accumulation_steps",
                                  tcfg.accumulation_steps),
+         TelemetryField::integer("cards", tcfg.cards),
+         TelemetryField::str("interconnect",
+                             cluster ? cluster->interconnect().name
+                                     : std::string("none")),
+         TelemetryField::str(
+             "collective",
+             par::collective_name(
+                 // The env override changes what actually runs; record that.
+                 // Guarded on cards like the trainer's own resolution, so a
+                 // stray DEEPPHI_COLLECTIVE can't fail a single-card run.
+                 tcfg.cards > 1 ? par::effective_collective(tcfg.collective)
+                                : tcfg.collective)),
          TelemetryField::integer(
              "slots",
              static_cast<std::int64_t>(tcfg.replicas) *
-                 tcfg.accumulation_steps),
+                 tcfg.accumulation_steps * tcfg.cards),
          TelemetryField::str("shard_rows", shard_layout(tcfg)),
          TelemetryField::integer("seed", static_cast<std::int64_t>(seed))});
     tcfg.telemetry = telemetry.get();
@@ -292,6 +329,18 @@ int run(int argc, char** argv) {
                       "' (sae|rbm|stack|dbn)");
   }
 
+  if (cluster) {
+    const phi::ClusterCommStats& comm = cluster->comm();
+    const double per_step_ms =
+        comm.collectives > 0
+            ? comm.seconds / static_cast<double>(comm.collectives) * 1e3
+            : 0.0;
+    std::printf(
+        "cluster: %lld all-reduces (%.3f ms each), %.2f MB on the wire, "
+        "communication %.1f%% of modeled step time\n",
+        static_cast<long long>(comm.collectives), per_step_ms,
+        comm.wire_bytes / 1e6, cluster->comm_share() * 100.0);
+  }
   if (options.has("profile")) {
     const std::string path = options.get_string("profile");
     obs::Profiler::write_chrome_json(path);
