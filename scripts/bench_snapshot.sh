@@ -23,6 +23,10 @@
 #                     registry-backed server under bursty Poisson arrivals:
 #                     static batching misses the tight SLO, SLO-aware
 #                     adaptive batching holds every lane inside its budget.
+#  - data_pipeline -> BENCH_data_pipeline.json: bench_data_pipeline --json —
+#                     real chunk-ring drain throughput of the in-memory vs
+#                     mmap'd-shard backings (per-stage ms, consumer stall)
+#                     and end-to-end training with overlap efficiency.
 #  - cluster       -> BENCH_cluster.json: bench_cluster --json — simulated
 #                     C-cards x R-replicas scaling with communication share,
 #                     the tree/rdouble/ring all-reduce sweep the
@@ -39,7 +43,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-KNOWN=(simd data_parallel quant serve_tail serve_registry cluster)
+KNOWN=(simd data_parallel quant serve_tail serve_registry cluster data_pipeline)
 
 is_known() {
   local n
@@ -81,6 +85,7 @@ for name in "${NAMES[@]}"; do
     serve_tail)    TARGETS+=(bench_serve_tail) ;;
     serve_registry) TARGETS+=(bench_serve_registry) ;;
     cluster)       TARGETS+=(bench_cluster) ;;
+    data_pipeline) TARGETS+=(bench_data_pipeline) ;;
     *) echo "unknown snapshot '$name'" >&2
        usage ;;
   esac
@@ -157,6 +162,16 @@ snapshot_cluster() {
   "$BUILD_DIR/bench/bench_cluster" --json="$out"
   validate "$out" --require=comm_share --require=auto_alg \
     --require=best_fixed --require=speedup
+  echo "snapshot written to $out"
+}
+
+snapshot_data_pipeline() {
+  local out="BENCH_data_pipeline.json"
+  # A larger corpus than the bench default so each ring drain takes long
+  # enough for the rows/s and per-stage numbers to be stable.
+  "$BUILD_DIR/bench/bench_data_pipeline" --examples=262144 --reps=5 \
+    --work="$BUILD_DIR/bench_data_pipeline_work" --json="$out"
+  validate "$out" --require=vs_memory --require=overlap_efficiency
   echo "snapshot written to $out"
 }
 

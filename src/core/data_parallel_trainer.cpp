@@ -98,7 +98,7 @@ struct RbmOps {
 
 template <typename Ops, typename Model>
 TrainReport run_dp(const TrainerConfig& config, Model& model,
-                   const data::Dataset& dataset) {
+                   const data::StreamingSource& dataset) {
   const int R = config.replicas;
   const int A = config.accumulation_steps;
   const int C = config.cards;
@@ -299,12 +299,12 @@ DataParallelTrainer::DataParallelTrainer(TrainerConfig config)
 }
 
 TrainReport DataParallelTrainer::train(SparseAutoencoder& model,
-                                       const data::Dataset& dataset) {
+                                       const data::StreamingSource& dataset) {
   return run_dp<SaeOps>(config_, model, dataset);
 }
 
 TrainReport DataParallelTrainer::train(Rbm& model,
-                                       const data::Dataset& dataset) {
+                                       const data::StreamingSource& dataset) {
   return run_dp<RbmOps>(config_, model, dataset);
 }
 

@@ -49,8 +49,9 @@ class DataParallelTrainer {
     return config_.replicas * config_.accumulation_steps * config_.cards;
   }
 
-  TrainReport train(SparseAutoencoder& model, const data::Dataset& dataset);
-  TrainReport train(Rbm& model, const data::Dataset& dataset);
+  TrainReport train(SparseAutoencoder& model,
+                    const data::StreamingSource& dataset);
+  TrainReport train(Rbm& model, const data::StreamingSource& dataset);
 
  private:
   TrainerConfig config_;

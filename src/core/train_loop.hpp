@@ -124,14 +124,15 @@ class ClusterReservation {
   std::vector<std::pair<int, phi::Device::BufferId>> ids_;
 };
 
-/// Runs the chunked training loop over `dataset`. `process(chunk)` performs
+/// Runs the chunked training loop over `dataset` (any StreamingSource —
+/// in-memory Dataset or mmap'd ShardedDataset). `process(chunk)` performs
 /// the chunk's gradient work (called inside a StatsScope that captures the
 /// chunk's KernelStats) and returns its ChunkOutcome. `model_bytes` /
 /// `workspace_bytes` size the device-arena reservation for a monitored run —
 /// PER CARD when config.cluster drives the run, whole-run otherwise.
 template <typename ChunkFn>
 TrainReport run_train_loop(const TrainerConfig& config,
-                           const data::Dataset& dataset, la::Index dim,
+                           const data::StreamingSource& dataset, la::Index dim,
                            double model_bytes, double workspace_bytes,
                            ChunkFn&& process) {
   DEEPPHI_PROFILE_SCOPE("trainer.run");
@@ -172,6 +173,13 @@ TrainReport run_train_loop(const TrainerConfig& config,
     stream_cfg.chunk_examples = config.chunk_examples;
     stream_cfg.background = async_loading;
     stream_cfg.ring_chunks = config.ring_chunks;
+    stream_cfg.shuffle_window = config.shuffle_window;
+    // A fresh shuffle per epoch, derived only from (config.seed, epoch), so
+    // the visit order is bitwise-reproducible across backings, replica
+    // factorizations, and resumed runs.
+    stream_cfg.shuffle_seed =
+        config.seed ^ (0x9e3779b97f4a7c15ULL *
+                       (static_cast<std::uint64_t>(epoch) + 1));
     data::ChunkStream stream(dataset, stream_cfg);
     const std::int64_t epoch_first_chunk = report.chunks;
     const double epoch_start_s = timer.seconds();
@@ -206,6 +214,7 @@ TrainReport run_train_loop(const TrainerConfig& config,
         outcome = process(*chunk);
       }
       phi::record(chunk_stats);  // merge the chunk's work into report.stats
+      stream.recycle(std::move(*chunk));  // buffer returns to the decode pool
       report.final_cost = outcome.final_cost;
       if (device) {
         const double compute_end = device->submit_compute(
@@ -271,6 +280,8 @@ TrainReport run_train_loop(const TrainerConfig& config,
         stop = true;
     }
 
+    report.load_stall_seconds += stream.consumer_wait_seconds();
+
     if (config.telemetry) {
       using obs::TelemetryField;
       const std::int64_t epoch_chunks = report.chunks - epoch_first_chunk;
@@ -293,6 +304,13 @@ TrainReport run_train_loop(const TrainerConfig& config,
   report.wall_seconds = timer.seconds();
   if (config.telemetry) {
     using obs::TelemetryField;
+    // Fraction of the run's wall time NOT spent waiting on the data
+    // pipeline: 1.0 = loading fully overlapped compute (Fig. 5's goal).
+    const double overlap =
+        report.wall_seconds > 0
+            ? std::clamp(1.0 - report.load_stall_seconds / report.wall_seconds,
+                         0.0, 1.0)
+            : 0.0;
     config.telemetry->emit_metrics(
         "run_summary",
         {TelemetryField::integer("chunks", report.chunks),
@@ -303,7 +321,9 @@ TrainReport run_train_loop(const TrainerConfig& config,
                              report.wall_seconds > 0
                                  ? report.stats.total_flops() /
                                        report.wall_seconds / 1e9
-                                 : 0.0)});
+                                 : 0.0),
+         TelemetryField::num("load_stall_s", report.load_stall_seconds),
+         TelemetryField::num("overlap_efficiency", overlap)});
   }
   return report;
 }

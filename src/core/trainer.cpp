@@ -29,6 +29,12 @@ Trainer::Trainer(TrainerConfig config) : config_(config) {
                                        << config.batch_size << ")");
   DEEPPHI_CHECK_MSG(config.epochs >= 1, "epochs must be >= 1");
   DEEPPHI_CHECK_MSG(config.ring_chunks >= 1, "ring_chunks must be >= 1");
+  DEEPPHI_CHECK_MSG(
+      config.shuffle_window == 0 ||
+          config.shuffle_window >= config.chunk_examples,
+      "shuffle_window (" << config.shuffle_window
+                         << ") must be 0 (off) or >= chunk_examples ("
+                         << config.chunk_examples << ")");
   DEEPPHI_CHECK_MSG(!config.use_taskgraph || is_matrix_form(config.level),
                     "the Fig. 6 task graph requires a matrix-form level");
   DEEPPHI_CHECK_MSG(config.replicas >= 1, "replicas must be >= 1");
@@ -48,8 +54,9 @@ Trainer::Trainer(TrainerConfig config) : config_(config) {
 }
 
 template <typename StepFn>
-TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
-                              double model_bytes, StepFn&& step) {
+TrainReport Trainer::run_loop(const data::StreamingSource& dataset,
+                              la::Index dim, double model_bytes,
+                              StepFn&& step) {
   // Model + gradients + per-batch temporaries + the Fig. 5 chunk ring must
   // fit the card. Workspace ≈ 4 batch-sized activation matrices (the SAE's
   // y/z/delta2/back; the RBM's four phase matrices are no larger).
@@ -79,7 +86,7 @@ TrainReport Trainer::run_loop(const data::Dataset& dataset, la::Index dim,
 }
 
 TrainReport Trainer::train(SparseAutoencoder& model,
-                           const data::Dataset& dataset) {
+                           const data::StreamingSource& dataset) {
   if (config_.replicas > 1 || config_.accumulation_steps > 1 ||
       config_.cards > 1 || config_.cluster)
     return DataParallelTrainer(config_).train(model, dataset);
@@ -108,7 +115,7 @@ TrainReport Trainer::train(SparseAutoencoder& model,
   return run_loop(dataset, model.visible(), model_bytes, step);
 }
 
-TrainReport Trainer::train(Rbm& model, const data::Dataset& dataset) {
+TrainReport Trainer::train(Rbm& model, const data::StreamingSource& dataset) {
   if (config_.replicas > 1 || config_.accumulation_steps > 1 ||
       config_.cards > 1 || config_.cluster)
     return DataParallelTrainer(config_).train(model, dataset);

@@ -87,6 +87,13 @@ struct TrainerConfig {
   OptimizerConfig optimizer{};
   std::uint64_t seed = 42;
   std::size_t ring_chunks = 4;
+  /// Windowed-shuffle span in examples for the streaming pipeline
+  /// (docs/data_pipeline.md). 0 = feed chunks in source order (the historic
+  /// behavior); otherwise must be >= chunk_examples. The visit order is a
+  /// pure function of (rows, shuffle_window, seed, epoch) — independent of
+  /// the data backing and of the S factorization — so shuffled runs stay
+  /// bitwise reproducible.
+  la::Index shuffle_window = 0;
   /// Optional simulated coprocessor. When set, train() reserves the model,
   /// gradients, workspace and chunk ring in the device's 8 GB arena (throws
   /// on OOM — the paper's "keep all the parameters ... in our global memory
@@ -122,6 +129,10 @@ struct TrainReport {
   double chunk_bytes = 0;       // bytes of one full chunk
   phi::KernelStats stats;       // measured work, including h2d transfers
   double wall_seconds = 0;      // actual host wall time of the run
+  /// Seconds the consumer spent blocked on the chunk ring (summed over
+  /// epochs) — 0 when loading fully overlapped compute. The run_summary
+  /// telemetry derives overlap_efficiency = 1 - load_stall/wall from it.
+  double load_stall_seconds = 0;
   /// Measured host wall seconds of each chunk's training (same indexing as
   /// chunk_mean_costs) — the real-timeline counterpart of the per-chunk
   /// predictions phi::Offload::process_chunks makes for simulate().
@@ -139,15 +150,19 @@ class Trainer {
   const TrainerConfig& config() const { return config_; }
 
   /// Trains the Sparse Autoencoder over `dataset` for config.epochs passes.
-  TrainReport train(SparseAutoencoder& model, const data::Dataset& dataset);
+  /// Any StreamingSource feeds the same loop: an in-memory data::Dataset or
+  /// an out-of-core data::ShardedDataset train bitwise identically under the
+  /// same config.
+  TrainReport train(SparseAutoencoder& model,
+                    const data::StreamingSource& dataset);
 
   /// Trains the RBM likewise; the reported costs are mean squared
   /// reconstruction errors.
-  TrainReport train(Rbm& model, const data::Dataset& dataset);
+  TrainReport train(Rbm& model, const data::StreamingSource& dataset);
 
  private:
   template <typename StepFn>
-  TrainReport run_loop(const data::Dataset& dataset, la::Index dim,
+  TrainReport run_loop(const data::StreamingSource& dataset, la::Index dim,
                        double model_bytes, StepFn&& step);
 
   TrainerConfig config_;

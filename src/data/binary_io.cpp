@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "data/io_util.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::data {
@@ -15,7 +16,7 @@ constexpr std::uint32_t kVersion = 1;
 
 void save_dataset(const Dataset& set, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  DEEPPHI_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  if (!out.good()) throw IoError("cannot open '" + path + "' for writing");
   out.write(kMagic, 4);
   const std::uint32_t version = kVersion;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
@@ -25,32 +26,31 @@ void save_dataset(const Dataset& set, const std::string& path) {
   out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
   out.write(reinterpret_cast<const char*>(set.matrix().data()),
             static_cast<std::streamsize>(sizeof(float) * n * dim));
-  DEEPPHI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  if (!out.good()) throw IoError("write to '" + path + "' failed");
 }
 
 Dataset load_dataset(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  if (!in.good()) throw IoError("cannot open '" + path + "'");
   char magic[4];
-  in.read(magic, 4);
-  DEEPPHI_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
-                    "'" << path << "' is not a DPDS dataset (bad magic)");
+  detail::read_exact(in, magic, 4, path, "DPDS magic");
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    throw IoError("'" + path + "' is not a DPDS dataset (bad magic)");
   std::uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  DEEPPHI_CHECK_MSG(in.good() && version == kVersion,
-                    "'" << path << "' has unsupported version " << version);
+  detail::read_exact(in, &version, sizeof(version), path, "DPDS header");
+  if (version != kVersion)
+    throw IoError("'" + path + "' has unsupported version " +
+                  std::to_string(version));
   std::uint64_t n = 0, dim = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-  DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' truncated in header");
-  DEEPPHI_CHECK_MSG(n < (1ULL << 40) && dim < (1ULL << 32),
-                    "'" << path << "' header implausible: n=" << n
-                        << " dim=" << dim);
+  detail::read_exact(in, &n, sizeof(n), path, "DPDS header");
+  detail::read_exact(in, &dim, sizeof(dim), path, "DPDS header");
+  if (!(n < (1ULL << 40) && dim < (1ULL << 32)))
+    throw IoError("'" + path + "' header implausible: n=" + std::to_string(n) +
+                  " dim=" + std::to_string(dim));
   Dataset set(static_cast<Index>(n), static_cast<Index>(dim));
-  in.read(reinterpret_cast<char*>(set.matrix().data()),
-          static_cast<std::streamsize>(sizeof(float) * n * dim));
-  DEEPPHI_CHECK_MSG(in.good() || (n * dim == 0),
-                    "'" << path << "' truncated in payload");
+  if (n * dim > 0)
+    detail::read_exact(in, set.matrix().data(), sizeof(float) * n * dim, path,
+                       "DPDS payload");
   return set;
 }
 

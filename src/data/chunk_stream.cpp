@@ -1,11 +1,30 @@
 #include "data/chunk_stream.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace deepphi::data {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since_s(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::int64_t since_ns(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start)
+      .count();
+}
+
+}  // namespace
 
 std::vector<RowShard> shard_rows(Index rows, int shards) {
   DEEPPHI_CHECK_MSG(rows >= 0, "shard_rows: negative row count " << rows);
@@ -22,14 +41,26 @@ std::vector<RowShard> shard_rows(Index rows, int shards) {
   return out;
 }
 
-ChunkStream::ChunkStream(const Dataset& dataset, ChunkStreamConfig config)
-    : dataset_(dataset), config_(config) {
+ChunkStream::ChunkStream(const StreamingSource& source, ChunkStreamConfig config)
+    : source_(source), config_(config) {
   DEEPPHI_CHECK_MSG(config_.chunk_examples >= 1,
                     "chunk_examples must be >= 1, got " << config_.chunk_examples);
+  DEEPPHI_CHECK_MSG(
+      config_.shuffle_window == 0 ||
+          config_.shuffle_window >= config_.chunk_examples,
+      "shuffle_window must be 0 (off) or >= chunk_examples ("
+          << config_.chunk_examples << "), got " << config_.shuffle_window);
+  DEEPPHI_CHECK_MSG(config_.prefetch_chunks >= 0,
+                    "prefetch_chunks must be >= 0, got "
+                        << config_.prefetch_chunks);
+  if (config_.shuffle_window > 0)
+    shuffle_.emplace(source_.rows(), config_.shuffle_window,
+                     config_.shuffle_seed);
   if (config_.background) {
     DEEPPHI_DEBUG() << "chunk stream: background loading thread, ring of "
                     << config_.ring_chunks << " x " << config_.chunk_examples
-                    << "-example chunks";
+                    << "-example chunks"
+                    << (shuffle_ ? ", shuffled" : ", in-order");
     pipeline_ = std::make_unique<par::ChunkPipeline<la::Matrix>>(
         config_.ring_chunks, [this] { return produce(); });
   }
@@ -37,23 +68,84 @@ ChunkStream::ChunkStream(const Dataset& dataset, ChunkStreamConfig config)
 
 ChunkStream::~ChunkStream() = default;
 
+la::Matrix ChunkStream::acquire(Index rows) {
+  if (rows == config_.chunk_examples) {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      la::Matrix buf = std::move(pool_.back());
+      pool_.pop_back();
+      return buf;
+    }
+  }
+  return la::Matrix::uninitialized(rows, source_.dim());
+}
+
+void ChunkStream::recycle(la::Matrix buffer) {
+  // Only full-size buffers re-enter the pool: the ragged tail (at most one
+  // per pass) would otherwise poison every later acquire with a short chunk.
+  if (buffer.rows() != config_.chunk_examples ||
+      buffer.cols() != source_.dim())
+    return;
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_.size() < config_.ring_chunks + 2)
+    pool_.push_back(std::move(buffer));
+}
+
 std::optional<la::Matrix> ChunkStream::produce() {
   // Runs on the loading thread in background mode, or inline otherwise.
-  const Index n = dataset_.size();
+  const Index n = source_.rows();
   if (cursor_ >= n) return std::nullopt;
   const Index count = std::min(config_.chunk_examples, n - cursor_);
-  la::Matrix chunk = la::Matrix::uninitialized(count, dataset_.dim());
-  dataset_.copy_batch(cursor_, count, chunk);
+
+  static obs::Histogram& io_hist = obs::histogram("data.stage.io");
+  static obs::Histogram& shuffle_hist = obs::histogram("data.stage.shuffle");
+  static obs::Histogram& decode_hist = obs::histogram("data.stage.decode");
+
+  // io: hint the NEXT prefetch_chunks chunks' rows so the kernel's readahead
+  // overlaps their page-in with this chunk's decode + the consumer's compute.
+  // Shuffled rows stay within their window, so hinting the upcoming stream
+  // span still covers every row the gathers will touch.
+  if (config_.prefetch_chunks > 0) {
+    const auto t0 = Clock::now();
+    const Index ahead_begin = cursor_ + count;
+    const Index ahead =
+        std::min(config_.prefetch_chunks * config_.chunk_examples,
+                 n - ahead_begin);
+    if (ahead > 0) source_.prefetch(ahead_begin, ahead);
+    io_hist.record(since_s(t0));
+  }
+
+  // shuffle: plan this chunk's source rows. Depends only on
+  // (rows, window, seed) — identical for every backing.
+  if (shuffle_) {
+    const auto t0 = Clock::now();
+    shuffle_->indices(cursor_, count, index_buf_);
+    shuffle_hist.record(since_s(t0));
+  }
+
+  // decode: materialize float32 rows into a pooled buffer.
+  const auto t0 = Clock::now();
+  la::Matrix chunk = acquire(count);
+  if (shuffle_)
+    source_.copy_rows(index_buf_, chunk);
+  else
+    source_.copy_rows(cursor_, count, chunk);
+  decode_hist.record(since_s(t0));
+
   cursor_ += count;
   return chunk;
 }
 
 std::optional<la::Matrix> ChunkStream::next() {
   DEEPPHI_PROFILE_SCOPE("chunk_stream.next");
+  const auto t0 = Clock::now();
   std::optional<la::Matrix> chunk = pipeline_ ? pipeline_->pop() : produce();
+  consumer_wait_ns_.fetch_add(since_ns(t0), std::memory_order_relaxed);
   if (chunk) {
     static obs::Counter& loaded = obs::counter("data.chunks_loaded");
     loaded.add();
+    static obs::Gauge& occupancy = obs::gauge("data.ring_occupancy");
+    occupancy.set(static_cast<double>(buffered()));
   }
   return chunk;
 }
@@ -62,8 +154,14 @@ std::size_t ChunkStream::buffered() const {
   return pipeline_ ? pipeline_->buffered() : 0;
 }
 
+double ChunkStream::consumer_wait_seconds() const {
+  return static_cast<double>(
+             consumer_wait_ns_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
 Index ChunkStream::total_chunks() const {
-  return (dataset_.size() + config_.chunk_examples - 1) / config_.chunk_examples;
+  return (source_.rows() + config_.chunk_examples - 1) / config_.chunk_examples;
 }
 
 }  // namespace deepphi::data

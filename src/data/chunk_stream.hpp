@@ -2,16 +2,36 @@
 // chunks; with a background loading thread the next chunk is materialized
 // (and, on the simulated device, transferred) while the current one trains.
 //
+// The loader runs a staged pipeline per chunk, in order:
+//
+//   io      — readahead hint for the rows the NEXT prefetch_chunks chunks
+//             will decode (madvise(WILLNEED) on mmap'd shards, no-op for
+//             memory sources), so page faults overlap with compute;
+//   shuffle — deterministic windowed shuffle plan (data::WindowShuffle;
+//             off when shuffle_window == 0, preserving in-order feeding);
+//   decode  — materialize the chunk as float32 into a pooled buffer
+//             (contiguous copy in-order, index gather when shuffled).
+//
+// Stage timings feed obs::histogram("data.stage.io"/"shuffle"/"decode") and
+// ring occupancy feeds the "data.ring_occupancy" gauge. Consumers return
+// finished chunk buffers via recycle(), so the steady state re-uses
+// ring_chunks + 2 full-size buffers instead of allocating per chunk (the
+// ragged tail chunk, at most one per pass, still allocates fresh).
+//
 // The functional side is real: in background mode a par::ChunkPipeline runs
-// an actual loader thread that copies chunk matrices ahead of the consumer.
-// The simulated-timing side lives in phi::Offload; the Trainer couples both.
+// an actual loader thread that stages chunks ahead of the consumer. The
+// simulated-timing side lives in phi::Offload; the Trainer couples both.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
-#include "data/dataset.hpp"
+#include "data/shuffle.hpp"
+#include "data/streaming_source.hpp"
 #include "parallel/pipeline.hpp"
 
 namespace deepphi::data {
@@ -37,13 +57,21 @@ struct ChunkStreamConfig {
   Index chunk_examples = 10000;  // examples per chunk
   bool background = true;        // Fig. 5 loading thread on/off
   std::size_t ring_chunks = 4;   // pipeline depth in chunks
+  /// Windowed-shuffle span in examples; 0 = stream in source order. Must be
+  /// >= chunk_examples otherwise, so a chunk draws from <= 2 windows. The
+  /// plan depends only on (rows, window, seed) — never on the backing.
+  Index shuffle_window = 0;
+  std::uint64_t shuffle_seed = 0;
+  /// Chunks of readahead the io stage hints to the source each produce.
+  Index prefetch_chunks = 2;
 };
 
 class ChunkStream {
  public:
-  /// Streams `dataset` once, front to back, in chunks of chunk_examples
-  /// (final chunk may be short). The dataset must outlive the stream.
-  ChunkStream(const Dataset& dataset, ChunkStreamConfig config);
+  /// Streams `source` once, front to back (or window-shuffled), in chunks of
+  /// chunk_examples (final chunk may be short). `source` must outlive the
+  /// stream.
+  ChunkStream(const StreamingSource& source, ChunkStreamConfig config);
   ~ChunkStream();
 
   ChunkStream(const ChunkStream&) = delete;
@@ -52,20 +80,41 @@ class ChunkStream {
   /// Next chunk (rows×dim matrix) or nullopt when the pass is done.
   std::optional<la::Matrix> next();
 
+  /// Hands a consumed chunk's buffer back for re-use by the decode stage.
+  /// Optional (dropping the matrix is correct too, just re-allocates); only
+  /// full-size chunk buffers are pooled.
+  void recycle(la::Matrix buffer);
+
   /// Chunks buffered ahead of the consumer by the Fig. 5 loading thread
   /// (0 in synchronous mode) — the ring occupancy telemetry records.
   std::size_t buffered() const;
+
+  /// Total seconds next() spent blocked waiting for data — the pipeline
+  /// stall the consumer actually felt (in synchronous mode, the full
+  /// staging cost). Feeds the run summary's overlap_efficiency.
+  double consumer_wait_seconds() const;
 
   Index chunk_examples() const { return config_.chunk_examples; }
   Index total_chunks() const;
 
  private:
   std::optional<la::Matrix> produce();
+  la::Matrix acquire(Index rows);
 
-  const Dataset& dataset_;
+  const StreamingSource& source_;
   ChunkStreamConfig config_;
   Index cursor_ = 0;
+  std::optional<WindowShuffle> shuffle_;
+  std::vector<Index> index_buf_;  // loader-thread scratch for gather plans
   std::unique_ptr<par::ChunkPipeline<la::Matrix>> pipeline_;
+
+  // Buffer pool: consumed full-size chunks come back via recycle() and the
+  // decode stage re-uses them (bounded at ring_chunks + 2 — ring plus one in
+  // flight on each side — so an over-eager consumer cannot grow it).
+  mutable std::mutex pool_mutex_;
+  std::vector<la::Matrix> pool_;
+
+  std::atomic<std::int64_t> consumer_wait_ns_{0};
 };
 
 }  // namespace deepphi::data

@@ -36,6 +36,14 @@ void Dataset::copy_batch(const std::vector<Index>& indices, la::Matrix& out) con
   }
 }
 
+SourceInfo Dataset::info() const {
+  SourceInfo info;
+  info.kind = "memory";
+  info.format = "f32";
+  info.bytes = sizeof(float) * static_cast<std::uint64_t>(data_.size());
+  return info;
+}
+
 std::pair<Dataset, Dataset> Dataset::split(Index count) const {
   DEEPPHI_CHECK_MSG(count >= 0 && count <= size(),
                     "split count " << count << " out of [0, " << size() << "]");

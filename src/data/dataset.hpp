@@ -1,17 +1,20 @@
 // In-memory training set: n examples of dimension d stored as an n×d matrix
 // (one example per row) — the layout every batched kernel consumes directly.
+// Implements StreamingSource, so the chunk ring and trainers consume it
+// through the same seam as out-of-core ShardedDataset backings.
 #pragma once
 
 #include <utility>
 #include <vector>
 
+#include "data/streaming_source.hpp"
 #include "la/matrix.hpp"
 
 namespace deepphi::data {
 
 using la::Index;
 
-class Dataset {
+class Dataset : public StreamingSource {
  public:
   Dataset() = default;
   /// n examples of dimension d, zero-initialized.
@@ -20,8 +23,19 @@ class Dataset {
   explicit Dataset(la::Matrix m);
 
   Index size() const { return data_.rows(); }
-  Index dim() const { return data_.cols(); }
   bool empty() const { return size() == 0; }
+
+  // StreamingSource interface.
+  Index rows() const override { return data_.rows(); }
+  Index dim() const override { return data_.cols(); }
+  void copy_rows(Index begin, Index count, la::Matrix& out) const override {
+    copy_batch(begin, count, out);
+  }
+  void copy_rows(const std::vector<Index>& indices,
+                 la::Matrix& out) const override {
+    copy_batch(indices, out);
+  }
+  SourceInfo info() const override;
 
   float* example(Index i) { return data_.row(i); }
   const float* example(Index i) const { return data_.row(i); }

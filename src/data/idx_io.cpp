@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "data/io_util.hpp"
 #include "util/error.hpp"
 
 namespace deepphi::data {
@@ -12,8 +13,7 @@ namespace {
 
 std::uint32_t read_be32(std::ifstream& in, const std::string& path) {
   unsigned char b[4];
-  in.read(reinterpret_cast<char*>(b), 4);
-  DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' truncated in header");
+  detail::read_exact(in, b, 4, path, "IDX header");
   return (static_cast<std::uint32_t>(b[0]) << 24) |
          (static_cast<std::uint32_t>(b[1]) << 16) |
          (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
@@ -32,7 +32,7 @@ void write_be32(std::ofstream& out, std::uint32_t v) {
 Dataset load_idx_images(const std::string& path, Index* rows_out,
                         Index* cols_out) {
   std::ifstream in(path, std::ios::binary);
-  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  if (!in.good()) throw IoError("cannot open '" + path + "'");
   const std::uint32_t magic = read_be32(in, path);
   DEEPPHI_CHECK_MSG(magic == 0x00000803,
                     "'" << path << "' is not an IDX3 u8 image file (magic 0x"
@@ -46,9 +46,9 @@ Dataset load_idx_images(const std::string& path, Index* rows_out,
   Dataset set(static_cast<Index>(n), static_cast<Index>(rows * cols));
   std::vector<unsigned char> row_buf(rows * cols);
   for (std::uint32_t i = 0; i < n; ++i) {
-    in.read(reinterpret_cast<char*>(row_buf.data()),
-            static_cast<std::streamsize>(row_buf.size()));
-    DEEPPHI_CHECK_MSG(in.good(), "'" << path << "' truncated at image " << i);
+    detail::read_exact(in, row_buf.data(), row_buf.size(), path,
+                       "IDX image " + std::to_string(i) + " of " +
+                           std::to_string(n));
     float* dst = set.example(static_cast<Index>(i));
     for (std::size_t j = 0; j < row_buf.size(); ++j)
       dst[j] = static_cast<float>(row_buf[j]) / 255.0f;
@@ -60,14 +60,13 @@ Dataset load_idx_images(const std::string& path, Index* rows_out,
 
 std::vector<int> load_idx_labels(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  DEEPPHI_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  if (!in.good()) throw IoError("cannot open '" + path + "'");
   const std::uint32_t magic = read_be32(in, path);
   DEEPPHI_CHECK_MSG(magic == 0x00000801,
                     "'" << path << "' is not an IDX1 u8 label file");
   const std::uint32_t n = read_be32(in, path);
   std::vector<unsigned char> buf(n);
-  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(n));
-  DEEPPHI_CHECK_MSG(in.good() || n == 0, "'" << path << "' truncated");
+  if (n > 0) detail::read_exact(in, buf.data(), n, path, "IDX labels");
   return std::vector<int>(buf.begin(), buf.end());
 }
 

@@ -1,0 +1,47 @@
+// Shared dataset-file IO checking: a typed error class and exact-read
+// helpers, so every dataset format (DPDS, IDX, sharded manifests) reports
+// short reads and truncated files the same way model_io reports corrupt
+// checkpoints — naming the path, what was being read, and the expected vs
+// actual byte counts — instead of a bare stream-state failure.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace deepphi::data {
+
+/// Thrown for unreadable, malformed, truncated, or corrupt dataset files.
+/// Derives util::Error, so existing catch sites keep working.
+class IoError : public util::Error {
+ public:
+  explicit IoError(const std::string& what) : util::Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_truncated(const std::string& path,
+                                         const std::string& what,
+                                         std::size_t expected,
+                                         std::size_t actual) {
+  throw IoError("'" + path + "' truncated in " + what + ": expected " +
+                std::to_string(expected) + " bytes, got " +
+                std::to_string(actual));
+}
+
+/// Reads exactly `bytes` bytes into `dst`; throws IoError naming `path`,
+/// `what`, and expected/actual counts on a short read or stream failure.
+inline void read_exact(std::istream& in, void* dst, std::size_t bytes,
+                       const std::string& path, const std::string& what) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+  const std::size_t got = static_cast<std::size_t>(in.gcount());
+  if (got != bytes) throw_truncated(path, what, bytes, got);
+  if (in.bad())
+    throw IoError("'" + path + "' read failed in " + what +
+                  " (stream error after " + std::to_string(got) + " bytes)");
+}
+
+}  // namespace detail
+}  // namespace deepphi::data

@@ -1,0 +1,138 @@
+// Out-of-core datasets: memory-mapped binary shard files described by a
+// sample-list manifest (ROADMAP item 4, after LBANN's sample-list readers).
+//
+// A sharded dataset is a directory of raw little-endian shard files plus a
+// JSON manifest (`deepphi.manifest.v1`):
+//
+//   {"schema": "deepphi.manifest.v1", "rows": N, "dim": D, "dtype": "f32",
+//    "shards": [{"path": "shard-0000.bin", "rows": n, "offset": 0,
+//                "bytes": n*D*4, "checksum": "fnv1a64-hex"}, ...]}
+//
+// Shard payloads are plain row-major example rows (no per-file header —
+// the manifest is the header), either "f32" (float32, decoded by memcpy) or
+// "u8" (bytes scaled to [0,1] exactly like the IDX loader, so MNIST-style
+// corpora shard without inflating 4x on disk). `offset`/`bytes` give each
+// shard's payload byte range, so several shards may also slice one big file.
+//
+// ShardedDataset mmaps every shard read-only and implements StreamingSource:
+// the Fig. 5 chunk ring decodes rows straight out of the page cache, the
+// prefetch stage turns into madvise(WILLNEED) readahead, and datasets
+// 10-100x the 8 GB device arena stream at page-cache cost instead of being
+// materialized. All open/validate errors are data::IoError naming the path
+// and expected vs actual byte counts (docs/data_pipeline.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/streaming_source.hpp"
+
+namespace deepphi::data {
+
+class Dataset;
+
+/// On-media element type of a shard payload.
+enum class ShardDtype { kF32, kU8 };
+
+const char* dtype_name(ShardDtype dtype);
+ShardDtype parse_dtype(const std::string& name);  // throws on unknown names
+std::size_t dtype_size(ShardDtype dtype);
+
+/// FNV-1a 64-bit running hash — the manifest's shard checksum.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                      std::uint64_t state = kFnvOffsetBasis);
+
+struct ShardEntry {
+  std::string path;            ///< relative to the manifest's directory
+  Index rows = 0;              ///< examples in this shard
+  std::uint64_t offset = 0;    ///< payload byte offset within the file
+  std::uint64_t bytes = 0;     ///< payload bytes = rows * dim * dtype_size
+  std::uint64_t checksum = 0;  ///< FNV-1a 64 of the payload bytes
+};
+
+struct Manifest {
+  Index rows = 0;
+  Index dim = 0;
+  ShardDtype dtype = ShardDtype::kF32;
+  std::vector<ShardEntry> shards;
+
+  std::uint64_t total_bytes() const;
+};
+
+inline constexpr const char* kManifestSchema = "deepphi.manifest.v1";
+
+/// Parses a manifest file; throws IoError on unreadable/malformed manifests
+/// (schema, geometry, shard-row coverage are validated; shard files are not
+/// touched — ShardedDataset::open does that).
+Manifest read_manifest(const std::string& path);
+
+/// Writes `manifest` as deepphi.manifest.v1 JSON.
+void write_manifest(const Manifest& manifest, const std::string& path);
+
+class ShardedDataset : public StreamingSource {
+ public:
+  struct OpenOptions {
+    /// Re-hash every shard payload against the manifest checksum at open
+    /// (full read — O(bytes); off by default for out-of-core sets).
+    bool verify_checksums = false;
+  };
+
+  /// Opens manifest + mmaps every shard. Throws IoError when a shard file
+  /// is missing, shorter than its declared byte range, or (with
+  /// verify_checksums) fails its checksum.
+  static ShardedDataset open(const std::string& manifest_path,
+                             OpenOptions options);
+  static ShardedDataset open(const std::string& manifest_path) {
+    return open(manifest_path, OpenOptions{});
+  }
+
+  ShardedDataset(ShardedDataset&&) noexcept = default;
+  ShardedDataset& operator=(ShardedDataset&&) noexcept = default;
+  ~ShardedDataset() override = default;
+
+  Index rows() const override { return manifest_.rows; }
+  Index dim() const override { return manifest_.dim; }
+  void copy_rows(Index begin, Index count, la::Matrix& out) const override;
+  void copy_rows(const std::vector<Index>& indices,
+                 la::Matrix& out) const override;
+  void prefetch(Index begin, Index count) const override;
+  SourceInfo info() const override;
+
+  const Manifest& manifest() const { return manifest_; }
+  const std::string& manifest_path() const { return manifest_path_; }
+  int shard_count() const { return static_cast<int>(manifest_.shards.size()); }
+
+ private:
+  class MappedFile;
+  ShardedDataset() = default;
+
+  // Decodes `count` rows starting at shard-local row `local` of shard `s`
+  // into dst (row-major, dim floats per row).
+  void decode_span(std::size_t s, Index local, Index count, float* dst) const;
+  std::size_t shard_of(Index row) const;
+
+  Manifest manifest_;
+  std::string manifest_path_;
+  std::vector<std::shared_ptr<MappedFile>> maps_;  // one per shard entry
+  std::vector<const unsigned char*> payload_;      // shard payload base ptrs
+  std::vector<Index> row_begin_;  // cumulative rows, size shards+1
+};
+
+/// Shard-writer options. rows_per_shard bounds each shard file; dtype picks
+/// the on-media encoding ("u8" stores clamp(v,0,1)*255 rounded — exact for
+/// data that came from u8, lossy otherwise).
+struct ShardWriteOptions {
+  Index rows_per_shard = 8192;
+  ShardDtype dtype = ShardDtype::kF32;
+};
+
+/// Writes `source` as shard files plus manifest.json under `dir` (created
+/// if missing); returns the manifest path. Streams through a bounded row
+/// buffer, so the source is never materialized whole.
+std::string write_sharded(const StreamingSource& source, const std::string& dir,
+                          ShardWriteOptions options = {});
+
+}  // namespace deepphi::data

@@ -1,0 +1,53 @@
+#include "data/shuffle.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace deepphi::data {
+
+WindowShuffle::WindowShuffle(Index rows, Index window, std::uint64_t seed)
+    : rows_(rows), window_(window), seed_(seed) {
+  DEEPPHI_CHECK_MSG(rows >= 0, "WindowShuffle: negative row count " << rows);
+  DEEPPHI_CHECK_MSG(window >= 1, "WindowShuffle: window must be >= 1, got "
+                                     << window);
+}
+
+void WindowShuffle::materialize(Index w) const {
+  const Index begin = w * window_;
+  const Index len = std::min(window_, rows_ - begin);
+  cache_.resize(static_cast<std::size_t>(len));
+  for (Index i = 0; i < len; ++i) cache_[static_cast<std::size_t>(i)] = i;
+  // One independent stream per window: the permutation of window w never
+  // depends on how many earlier positions were consumed or in what chunks.
+  util::Rng rng = util::Rng(seed_, /*stream=*/0xda7a5eedULL).split(
+      static_cast<std::uint64_t>(w));
+  for (Index i = len - 1; i > 0; --i) {
+    const Index j = static_cast<Index>(
+        rng.uniform_index(static_cast<std::uint64_t>(i) + 1));
+    std::swap(cache_[static_cast<std::size_t>(i)],
+              cache_[static_cast<std::size_t>(j)]);
+  }
+  cached_window_ = w;
+}
+
+Index WindowShuffle::index(Index pos) const {
+  DEEPPHI_CHECK_MSG(pos >= 0 && pos < rows_,
+                    "shuffle position " << pos << " out of " << rows_);
+  const Index w = pos / window_;
+  if (w != cached_window_) materialize(w);
+  return w * window_ + cache_[static_cast<std::size_t>(pos - w * window_)];
+}
+
+void WindowShuffle::indices(Index begin, Index count,
+                            std::vector<Index>& out) const {
+  DEEPPHI_CHECK_MSG(begin >= 0 && count >= 0 && begin + count <= rows_,
+                    "shuffle range [" << begin << ", " << begin + count
+                                      << ") out of " << rows_);
+  out.resize(static_cast<std::size_t>(count));
+  for (Index k = 0; k < count; ++k)
+    out[static_cast<std::size_t>(k)] = index(begin + k);
+}
+
+}  // namespace deepphi::data

@@ -1,0 +1,57 @@
+// Deterministic windowed shuffle for the streaming pipeline (Bengio's
+// practical recommendation: large training sets should be streamed in
+// shuffled order, but a full-corpus permutation of an out-of-core set would
+// defeat sequential IO). The row stream is cut into consecutive windows of
+// `window` rows; each window is permuted independently by a seeded
+// Fisher–Yates draw, so:
+//
+//   - the permutation depends ONLY on (rows, window, seed) — never on the
+//     backing store, chunk size, thread counts, or replica placement, which
+//     is what keeps sharded-vs-in-memory training bitwise identical;
+//   - rows of one window stay within one contiguous `window`-row span of
+//     the underlying source, so readahead over the next spans still covers
+//     every gather the decode stage performs.
+//
+// With window >= chunk_examples every chunk draws from at most two windows,
+// bounding the gather's working set to ~2 windows of pages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace deepphi::data {
+
+using la::Index;
+
+class WindowShuffle {
+ public:
+  /// Shuffles `rows` stream positions in independent windows of `window`
+  /// rows (the final window may be short). window must be >= 1.
+  WindowShuffle(Index rows, Index window, std::uint64_t seed);
+
+  Index rows() const { return rows_; }
+  Index window() const { return window_; }
+
+  /// Writes the source row ids for stream positions [begin, begin+count)
+  /// into `out` (resized to count). Positions must lie in [0, rows).
+  void indices(Index begin, Index count, std::vector<Index>& out) const;
+
+  /// The source row id at stream position `pos` (test/debug convenience).
+  Index index(Index pos) const;
+
+ private:
+  // Fills cache_ with window w's permutation (local row offsets).
+  void materialize(Index w) const;
+
+  Index rows_ = 0;
+  Index window_ = 0;
+  std::uint64_t seed_ = 0;
+  // Sequential consumers walk windows in order, so a one-window permutation
+  // cache makes indices() O(count) amortized instead of O(window) per call.
+  mutable Index cached_window_ = -1;
+  mutable std::vector<Index> cache_;
+};
+
+}  // namespace deepphi::data

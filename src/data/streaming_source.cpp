@@ -1,0 +1,29 @@
+#include "data/streaming_source.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace deepphi::data {
+
+void StreamingSource::copy_rows(const std::vector<Index>& indices,
+                                la::Matrix& out) const {
+  DEEPPHI_CHECK_MSG(out.rows() == static_cast<Index>(indices.size()) &&
+                        out.cols() == dim(),
+                    "gather target must be " << indices.size() << "x" << dim()
+                                             << ", got " << out.rows() << "x"
+                                             << out.cols());
+  la::Matrix row_buf = la::Matrix::uninitialized(1, dim());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const Index i = indices[r];
+    DEEPPHI_CHECK_MSG(i >= 0 && i < rows(),
+                      "example index " << i << " out of " << rows());
+    copy_rows(i, 1, row_buf);
+    std::memcpy(out.row(static_cast<Index>(r)), row_buf.data(),
+                sizeof(float) * static_cast<std::size_t>(dim()));
+  }
+}
+
+void StreamingSource::prefetch(Index, Index) const {}
+
+}  // namespace deepphi::data

@@ -1,0 +1,58 @@
+// Uniform read interface over training-data backings — the seam that lets
+// one Fig. 5 chunk ring serve both the in-memory data::Dataset and the
+// out-of-core mmap'd data::ShardedDataset (and any future backing) without
+// the trainers knowing which is underneath.
+//
+// A StreamingSource is a read-only table of `rows()` examples of `dim()`
+// float32 features. The pipeline pulls rows by contiguous range (in-order
+// streaming) or by index list (windowed shuffle); `prefetch` is a readahead
+// hint the IO stage issues for rows it will decode shortly (no-op for
+// memory-backed sources, madvise(WILLNEED) for mmap'd ones). `info()`
+// reports provenance — backing kind, on-media dtype, payload bytes — which
+// the telemetry run header records so streamed and in-memory runs are
+// distinguishable in JSONL output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace deepphi::data {
+
+using la::Index;
+
+/// Provenance of a source's backing store, recorded in run telemetry.
+struct SourceInfo {
+  std::string kind;         ///< "memory" | "sharded"
+  std::string format;       ///< on-media payload dtype: "f32" | "u8"
+  std::uint64_t bytes = 0;  ///< payload bytes backing the source
+};
+
+class StreamingSource {
+ public:
+  virtual ~StreamingSource() = default;
+
+  virtual Index rows() const = 0;
+  virtual Index dim() const = 0;
+  bool empty() const { return rows() == 0; }
+
+  /// Decodes rows [begin, begin+count) as float32 into `out` (count×dim;
+  /// shapes checked).
+  virtual void copy_rows(Index begin, Index count, la::Matrix& out) const = 0;
+
+  /// Decodes the listed rows in order into `out` (indices.size()×dim) — the
+  /// gather the shuffle stage uses. The default loops single-row
+  /// copy_rows calls; backings override with a fused decode.
+  virtual void copy_rows(const std::vector<Index>& indices,
+                         la::Matrix& out) const;
+
+  /// Readahead hint: rows [begin, begin+count) will be decoded soon.
+  /// Default no-op; out-of-core sources start IO for the byte range.
+  virtual void prefetch(Index begin, Index count) const;
+
+  virtual SourceInfo info() const = 0;
+};
+
+}  // namespace deepphi::data

@@ -9,7 +9,10 @@
 // drains the queue and then returns nullopt.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -100,7 +103,14 @@ class ChunkPipeline {
         if (!item.has_value()) break;
         {
           DEEPPHI_PROFILE_SCOPE("pipeline.push_wait");
-          if (!queue_.push(std::move(*item))) break;  // consumer aborted
+          const auto t0 = std::chrono::steady_clock::now();
+          const bool pushed = queue_.push(std::move(*item));
+          push_wait_ns_.fetch_add(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              std::memory_order_relaxed);
+          if (!pushed) break;  // consumer aborted
         }
         occupancy.set_max(static_cast<double>(queue_.size()));
       }
@@ -122,8 +132,16 @@ class ChunkPipeline {
   /// Chunks currently buffered ahead of the consumer.
   std::size_t buffered() const { return queue_.size(); }
 
+  /// Total seconds the loader thread sat blocked on a full ring — high when
+  /// production outruns the consumer (the healthy, fully-overlapped state).
+  double producer_wait_seconds() const {
+    return static_cast<double>(push_wait_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
  private:
   BoundedQueue<T> queue_;
+  std::atomic<std::int64_t> push_wait_ns_{0};
   std::thread loader_;
 };
 

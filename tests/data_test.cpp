@@ -496,5 +496,93 @@ TEST(ChunkStream, ChunkLargerThanDataset) {
   EXPECT_FALSE(stream.next().has_value());
 }
 
+TEST(ChunkStream, RingOfOneDeliversEverything) {
+  Dataset d(97, 3);
+  for (la::Index i = 0; i < d.size(); ++i)
+    d.example(i)[0] = static_cast<float>(i);
+  ChunkStreamConfig cfg;
+  cfg.chunk_examples = 10;
+  cfg.background = true;
+  cfg.ring_chunks = 1;  // tightest legal ring: loader and consumer alternate
+  ChunkStream stream(d, cfg);
+  la::Index rows = 0;
+  while (auto c = stream.next()) {
+    EXPECT_EQ((*c)(0, 0), static_cast<float>(rows));
+    rows += c->rows();
+  }
+  EXPECT_EQ(rows, d.size());
+}
+
+TEST(ChunkStream, EmptyDatasetEndsImmediately) {
+  Dataset d(0, 4);
+  for (const bool background : {false, true}) {
+    ChunkStreamConfig cfg;
+    cfg.chunk_examples = 8;
+    cfg.background = background;
+    ChunkStream stream(d, cfg);
+    EXPECT_EQ(stream.total_chunks(), 0);
+    EXPECT_FALSE(stream.next().has_value());
+  }
+}
+
+TEST(ChunkStream, DestructionWithLoaderAheadJoinsCleanly) {
+  // The loader fills the whole ring before the consumer touches it; tearing
+  // the stream down with buffered chunks (and a blocked producer) must not
+  // hang or leak the loading thread.
+  Dataset d(10000, 4);
+  ChunkStreamConfig cfg;
+  cfg.chunk_examples = 100;
+  cfg.background = true;
+  cfg.ring_chunks = 4;
+  auto stream = std::make_unique<ChunkStream>(d, cfg);
+  while (stream->buffered() < cfg.ring_chunks) {}  // loader races ahead
+  stream.reset();
+  SUCCEED();
+}
+
+TEST(ChunkStream, RecycledBuffersAreReused) {
+  Dataset d(64, 2);
+  for (la::Index i = 0; i < d.size(); ++i)
+    d.example(i)[0] = static_cast<float>(i);
+  ChunkStreamConfig cfg;
+  cfg.chunk_examples = 16;
+  cfg.background = false;
+  ChunkStream stream(d, cfg);
+  auto first = stream.next();
+  ASSERT_TRUE(first.has_value());
+  const float* recycled_storage = first->data();
+  stream.recycle(std::move(*first));
+  auto second = stream.next();
+  ASSERT_TRUE(second.has_value());
+  // Zero steady-state allocation: the second chunk decodes into the exact
+  // buffer the first one returned, with the right contents.
+  EXPECT_EQ(second->data(), recycled_storage);
+  EXPECT_EQ((*second)(0, 0), 16.0f);
+}
+
+TEST(ChunkStream, ShortTailBufferIsNotPooled) {
+  Dataset d(20, 2);  // chunks of 16: one full chunk + a ragged tail of 4
+  ChunkStreamConfig cfg;
+  cfg.chunk_examples = 16;
+  cfg.background = false;
+  ChunkStream stream(d, cfg);
+  auto full = stream.next();
+  ASSERT_TRUE(full.has_value());
+  auto tail = stream.next();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->rows(), 4);
+  stream.recycle(std::move(*tail));  // dropped, not pooled — and harmless
+  EXPECT_FALSE(stream.next().has_value());
+}
+
+TEST(ShardRows, ZeroRowsGivesAllEmptyShards) {
+  const std::vector<RowShard> out = shard_rows(0, 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (const RowShard& s : out) {
+    EXPECT_EQ(s.rows, 0);
+    EXPECT_EQ(s.begin, 0);
+  }
+}
+
 }  // namespace
 }  // namespace deepphi::data

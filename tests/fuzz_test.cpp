@@ -10,6 +10,7 @@
 
 #include "baseline/naive_gemm.hpp"
 #include "data/chunk_stream.hpp"
+#include "data/dataset.hpp"
 #include "la/gemm.hpp"
 #include "parallel/task_graph.hpp"
 #include "util/rng.hpp"

@@ -1,0 +1,83 @@
+# CTest script: the sharded streaming pipeline end to end through the CLIs.
+#
+#   1. deepphi_shard generates the default synthetic corpus and writes it as
+#      small shards + manifest, then --check re-hashes every payload.
+#   2. deepphi_train streams the manifest (--data-manifest, shuffled) with
+#      telemetry, and the run header must carry the dataset provenance
+#      (dataset_source/format/bytes, total_chunks, shuffle_window).
+#   3. The same training run from the in-memory synthetic corpus must
+#      produce a BITWISE IDENTICAL checkpoint — the determinism contract of
+#      docs/data_pipeline.md, checked with cmake -E compare_files.
+execute_process(
+  COMMAND ${SHARD} --examples=1024 --out=${WORK}/shards --rows-per-shard=300
+  RESULT_VARIABLE shard_rc)
+if(NOT shard_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_shard failed: ${shard_rc}")
+endif()
+
+execute_process(
+  COMMAND ${SHARD} --check=${WORK}/shards/manifest.json
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_shard --check failed: ${check_rc}")
+endif()
+
+execute_process(
+  COMMAND ${TRAIN} --model=sae --data-manifest=${WORK}/shards/manifest.json
+          --epochs=2 --hidden=16 --chunk=128 --batch=16 --shuffle-window=256
+          --save=${WORK}/shard_stream.dpsa
+          --telemetry ${WORK}/shard_run.jsonl
+  RESULT_VARIABLE stream_rc)
+if(NOT stream_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_train --data-manifest failed: ${stream_rc}")
+endif()
+
+execute_process(
+  COMMAND ${TRAIN} --model=sae --synthetic=digits --examples=1024
+          --epochs=2 --hidden=16 --chunk=128 --batch=16 --shuffle-window=256
+          --save=${WORK}/shard_memory.dpsa
+  RESULT_VARIABLE memory_rc)
+if(NOT memory_rc EQUAL 0)
+  message(FATAL_ERROR "deepphi_train in-memory twin failed: ${memory_rc}")
+endif()
+
+# Bitwise identity: streaming from shards must train the same model as the
+# in-memory path under the same seed and shuffle window.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK}/shard_stream.dpsa ${WORK}/shard_memory.dpsa
+  RESULT_VARIABLE identical_rc)
+if(NOT identical_rc EQUAL 0)
+  message(FATAL_ERROR
+          "sharded and in-memory checkpoints differ (bitwise contract broken)")
+endif()
+
+execute_process(
+  COMMAND ${CHECK} --jsonl --require=record --require=seq
+          --expect=deepphi.telemetry.v1 --expect=run_header
+          --expect=run_summary ${WORK}/shard_run.jsonl
+  RESULT_VARIABLE telemetry_rc)
+if(NOT telemetry_rc EQUAL 0)
+  message(FATAL_ERROR "streaming telemetry failed validation: ${telemetry_rc}")
+endif()
+
+# The run header must record the dataset provenance.
+file(STRINGS ${WORK}/shard_run.jsonl header_line LIMIT_COUNT 1)
+foreach(key "\"dataset_source\":\"sharded\"" "\"dataset_format\":\"f32\""
+        "\"dataset_bytes\":262144" "\"total_chunks\":8"
+        "\"shuffle_window\":256")
+  string(FIND "${header_line}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "run header missing ${key}: ${header_line}")
+  endif()
+endforeach()
+
+# The run summary must report the pipeline's overlap accounting.
+file(STRINGS ${WORK}/shard_run.jsonl lines)
+list(GET lines -1 summary_line)
+foreach(key "\"load_stall_s\"" "\"overlap_efficiency\"")
+  string(FIND "${summary_line}" "${key}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "run summary missing ${key}: ${summary_line}")
+  endif()
+endforeach()

@@ -27,6 +27,7 @@
 #include "data/binary_io.hpp"
 #include "data/chunk_stream.hpp"
 #include "data/idx_io.hpp"
+#include "data/sharded_dataset.hpp"
 #include "data/patches.hpp"
 #include "la/simd/dispatch.hpp"
 #include "parallel/collectives.hpp"
@@ -115,6 +116,11 @@ int run(int argc, char** argv) {
   util::Options options = util::Options::parse(argc, argv);
   options.declare("model", "sae | rbm | stack | dbn", "sae");
   options.declare("data", "path to a DPDS dataset file");
+  options.declare("data-manifest",
+                  "path to a deepphi.manifest.v1 sharded-dataset manifest "
+                  "(mmap'd out-of-core streaming; see deepphi_shard)");
+  options.declare("verify-shards",
+                  "re-hash every shard against its manifest checksum at open");
   options.declare("idx", "path to an IDX3 image file (e.g. MNIST)");
   options.declare("synthetic", "built-in generator: digits | natural", "digits");
   options.declare("examples", "synthetic examples to generate", "4096");
@@ -124,6 +130,9 @@ int run(int argc, char** argv) {
   options.declare("hidden", "hidden units for sae/rbm", "32");
   options.declare("batch", "mini-batch size", "128");
   options.declare("chunk", "chunk size (examples per device load)", "2048");
+  options.declare("shuffle-window",
+                  "windowed-shuffle span in examples (0 = feed in order; "
+                  "otherwise >= chunk; docs/data_pipeline.md)", "0");
   options.declare("epochs", "training epochs", "6");
   options.declare("lr", "learning rate", "0.3");
   options.declare("optimizer", "sgd | momentum | adagrad", "sgd");
@@ -171,16 +180,46 @@ int run(int argc, char** argv) {
     obs::Profiler::enable(true);
   }
 
-  data::Dataset dataset = load_data(options);
-  std::printf("dataset: %lld examples of dim %lld\n",
-              static_cast<long long>(dataset.size()),
-              static_cast<long long>(dataset.dim()));
+  const std::string model_kind = options.get_string("model");
+  DEEPPHI_CHECK_MSG(
+      !options.has("data-manifest") ||
+          (model_kind == "sae" || model_kind == "rbm"),
+      "--data-manifest streams chunks and supports --model=sae|rbm only; "
+      "stack/dbn pretrain on materialized layer activations -- load the set "
+      "with --data/--idx/--synthetic instead");
+
+  // The trained path consumes any StreamingSource; the in-memory Dataset is
+  // kept when available because the post-train metrics and the stack/dbn
+  // pretrain (which materialize layer activations) need it.
+  std::unique_ptr<data::Dataset> in_memory;
+  std::unique_ptr<data::ShardedDataset> sharded;
+  if (options.has("data-manifest")) {
+    data::ShardedDataset::OpenOptions open_opts;
+    open_opts.verify_checksums = options.has("verify-shards");
+    sharded = std::make_unique<data::ShardedDataset>(data::ShardedDataset::open(
+        options.get_string("data-manifest"), open_opts));
+  } else {
+    in_memory = std::make_unique<data::Dataset>(load_data(options));
+  }
+  const data::StreamingSource& source =
+      sharded ? static_cast<const data::StreamingSource&>(*sharded)
+              : static_cast<const data::StreamingSource&>(*in_memory);
+  const data::SourceInfo source_info = source.info();
+  std::printf("dataset: %lld examples of dim %lld (%s, %s, %.1f MB%s)\n",
+              static_cast<long long>(source.rows()),
+              static_cast<long long>(source.dim()), source_info.kind.c_str(),
+              source_info.format.c_str(),
+              static_cast<double>(source_info.bytes) / 1e6,
+              sharded ? (", " + std::to_string(sharded->shard_count()) +
+                         " shards").c_str()
+                      : "");
 
   core::TrainerConfig tcfg;
   tcfg.batch_size = options.get_int("batch");
   tcfg.chunk_examples = std::max<la::Index>(options.get_int("chunk"),
                                             tcfg.batch_size);
   tcfg.epochs = static_cast<int>(options.get_int("epochs"));
+  tcfg.shuffle_window = options.get_int("shuffle-window");
   tcfg.level = parse_level(options.get_string("level"));
   tcfg.policy = core::ExecPolicy::kPhiOffload;
   tcfg.use_taskgraph = options.has("taskgraph");
@@ -204,7 +243,6 @@ int run(int argc, char** argv) {
   tcfg.optimizer.lr = static_cast<float>(options.get_double("lr"));
   tcfg.seed = static_cast<std::uint64_t>(options.get_int("seed"));
 
-  const std::string model_kind = options.get_string("model");
   const std::uint64_t seed = tcfg.seed;
 
   std::unique_ptr<obs::TelemetrySink> telemetry;
@@ -220,11 +258,19 @@ int run(int argc, char** argv) {
          TelemetryField::integer("host_threads",
                                  std::thread::hardware_concurrency()),
          TelemetryField::integer("examples",
-                                 static_cast<std::int64_t>(dataset.size())),
+                                 static_cast<std::int64_t>(source.rows())),
          TelemetryField::integer("dim",
-                                 static_cast<std::int64_t>(dataset.dim())),
+                                 static_cast<std::int64_t>(source.dim())),
+         TelemetryField::str("dataset_source", source_info.kind),
+         TelemetryField::str("dataset_format", source_info.format),
+         TelemetryField::integer(
+             "dataset_bytes", static_cast<std::int64_t>(source_info.bytes)),
+         TelemetryField::integer(
+             "total_chunks",
+             (source.rows() + tcfg.chunk_examples - 1) / tcfg.chunk_examples),
          TelemetryField::integer("batch_size", tcfg.batch_size),
          TelemetryField::integer("chunk_examples", tcfg.chunk_examples),
+         TelemetryField::integer("shuffle_window", tcfg.shuffle_window),
          TelemetryField::integer("epochs", tcfg.epochs),
          TelemetryField::str("level", options.get_string("level")),
          TelemetryField::str("optimizer", options.get_string("optimizer")),
@@ -259,37 +305,43 @@ int run(int argc, char** argv) {
 
   if (model_kind == "sae") {
     core::SaeConfig cfg;
-    cfg.visible = dataset.dim();
+    cfg.visible = source.dim();
     cfg.hidden = options.get_int("hidden");
     cfg.rho = static_cast<float>(options.get_double("rho"));
     cfg.beta = static_cast<float>(options.get_double("beta"));
     cfg.lambda = static_cast<float>(options.get_double("lambda"));
     cfg.tied_weights = options.has("tied");
     core::SparseAutoencoder model(cfg, seed);
-    print_report("sae", trainer.train(model, dataset));
-    std::printf("reconstruction error: %.5f, mean activation: %.4f\n",
-                core::reconstruction_error(model, dataset),
-                core::mean_hidden_activation(model, dataset));
+    print_report("sae", trainer.train(model, source));
+    if (in_memory)
+      std::printf("reconstruction error: %.5f, mean activation: %.4f\n",
+                  core::reconstruction_error(model, *in_memory),
+                  core::mean_hidden_activation(model, *in_memory));
     if (options.has("save")) {
       core::save_model(model, options.get_string("save"));
       std::printf("saved to %s\n", options.get_string("save").c_str());
     }
   } else if (model_kind == "rbm") {
     core::RbmConfig cfg;
-    cfg.visible = dataset.dim();
+    cfg.visible = source.dim();
     cfg.hidden = options.get_int("hidden");
     cfg.cd_k = static_cast<int>(options.get_int("cd-k"));
     if (options.has("gaussian-visible"))
       cfg.visible_type = core::VisibleType::kGaussian;
     core::Rbm model(cfg, seed);
-    print_report("rbm", trainer.train(model, dataset));
-    std::printf("reconstruction error: %.5f\n",
-                core::reconstruction_error(model, dataset));
+    print_report("rbm", trainer.train(model, source));
+    if (in_memory)
+      std::printf("reconstruction error: %.5f\n",
+                  core::reconstruction_error(model, *in_memory));
     if (options.has("save")) {
       core::save_model(model, options.get_string("save"));
       std::printf("saved to %s\n", options.get_string("save").c_str());
     }
   } else if (model_kind == "stack") {
+    DEEPPHI_CHECK_MSG(in_memory != nullptr,
+                      "--model=stack pretrains on materialized layer "
+                      "activations and cannot stream --data-manifest; load "
+                      "the set with --data/--idx/--synthetic instead");
     const std::string spec = options.get_string("layers");
     DEEPPHI_CHECK_MSG(!spec.empty(), "--model=stack needs --layers=a,b,c");
     core::SaeConfig proto;
@@ -298,9 +350,9 @@ int run(int argc, char** argv) {
     proto.lambda = static_cast<float>(options.get_double("lambda"));
     proto.tied_weights = options.has("tied");
     core::StackedAutoencoder model(parse_layers(spec), proto, seed);
-    DEEPPHI_CHECK_MSG(model.layer_sizes().front() == dataset.dim(),
+    DEEPPHI_CHECK_MSG(model.layer_sizes().front() == in_memory->dim(),
                       "--layers first entry must equal the dataset dim");
-    const auto reports = model.pretrain(dataset, tcfg);
+    const auto reports = model.pretrain(*in_memory, tcfg);
     for (std::size_t k = 0; k < reports.size(); ++k)
       print_report(("stack layer " + std::to_string(k)).c_str(), reports[k]);
     if (options.has("save")) {
@@ -308,6 +360,10 @@ int run(int argc, char** argv) {
       std::printf("saved to %s\n", options.get_string("save").c_str());
     }
   } else if (model_kind == "dbn") {
+    DEEPPHI_CHECK_MSG(in_memory != nullptr,
+                      "--model=dbn pretrains on materialized layer "
+                      "activations and cannot stream --data-manifest; load "
+                      "the set with --data/--idx/--synthetic instead");
     const std::string spec = options.get_string("layers");
     DEEPPHI_CHECK_MSG(!spec.empty(), "--model=dbn needs --layers=a,b,c");
     core::RbmConfig proto;
@@ -315,9 +371,9 @@ int run(int argc, char** argv) {
     if (options.has("gaussian-visible"))
       proto.visible_type = core::VisibleType::kGaussian;
     core::Dbn model(parse_layers(spec), proto, seed);
-    DEEPPHI_CHECK_MSG(model.layer_sizes().front() == dataset.dim(),
+    DEEPPHI_CHECK_MSG(model.layer_sizes().front() == in_memory->dim(),
                       "--layers first entry must equal the dataset dim");
-    const auto reports = model.pretrain(dataset, tcfg);
+    const auto reports = model.pretrain(*in_memory, tcfg);
     for (std::size_t k = 0; k < reports.size(); ++k)
       print_report(("dbn layer " + std::to_string(k)).c_str(), reports[k]);
     if (options.has("save")) {
