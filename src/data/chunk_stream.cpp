@@ -66,7 +66,13 @@ ChunkStream::ChunkStream(const StreamingSource& source, ChunkStreamConfig config
   }
 }
 
-ChunkStream::~ChunkStream() = default;
+ChunkStream::~ChunkStream() {
+  // Join the Fig. 5 loader thread before anything else is torn down: its
+  // produce() -> acquire() path locks pool_mutex_ and pops pool_, so those
+  // members must outlive the pipeline even when the consumer abandons the
+  // stream with the loader still running ahead.
+  pipeline_.reset();
+}
 
 la::Matrix ChunkStream::acquire(Index rows) {
   if (rows == config_.chunk_examples) {
@@ -103,15 +109,21 @@ std::optional<la::Matrix> ChunkStream::produce() {
 
   // io: hint the NEXT prefetch_chunks chunks' rows so the kernel's readahead
   // overlaps their page-in with this chunk's decode + the consumer's compute.
-  // Shuffled rows stay within their window, so hinting the upcoming stream
-  // span still covers every row the gathers will touch.
+  // Shuffled stream positions gather from anywhere in their window, so the
+  // hint is rounded out to window boundaries — the full windows overlapping
+  // the upcoming span cover every row those gathers will touch.
   if (config_.prefetch_chunks > 0) {
     const auto t0 = Clock::now();
-    const Index ahead_begin = cursor_ + count;
-    const Index ahead =
-        std::min(config_.prefetch_chunks * config_.chunk_examples,
-                 n - ahead_begin);
-    if (ahead > 0) source_.prefetch(ahead_begin, ahead);
+    Index ahead_begin = cursor_ + count;
+    Index ahead_end = std::min(
+        n, ahead_begin + config_.prefetch_chunks * config_.chunk_examples);
+    if (shuffle_ && ahead_end > ahead_begin) {
+      const Index w = shuffle_->window();
+      ahead_begin = (ahead_begin / w) * w;
+      ahead_end = std::min(n, ((ahead_end + w - 1) / w) * w);
+    }
+    if (ahead_end > ahead_begin)
+      source_.prefetch(ahead_begin, ahead_end - ahead_begin);
     io_hist.record(since_s(t0));
   }
 
@@ -138,9 +150,16 @@ std::optional<la::Matrix> ChunkStream::produce() {
 
 std::optional<la::Matrix> ChunkStream::next() {
   DEEPPHI_PROFILE_SCOPE("chunk_stream.next");
-  const auto t0 = Clock::now();
-  std::optional<la::Matrix> chunk = pipeline_ ? pipeline_->pop() : produce();
-  consumer_wait_ns_.fetch_add(since_ns(t0), std::memory_order_relaxed);
+  std::optional<la::Matrix> chunk;
+  if (pipeline_) {
+    // Blocking wait is accounted inside the ring's pop (see
+    // consumer_wait_seconds), so uncontended pops cost the metric nothing.
+    chunk = pipeline_->pop();
+  } else {
+    const auto t0 = Clock::now();
+    chunk = produce();
+    consumer_wait_ns_.fetch_add(since_ns(t0), std::memory_order_relaxed);
+  }
   if (chunk) {
     static obs::Counter& loaded = obs::counter("data.chunks_loaded");
     loaded.add();
@@ -155,9 +174,10 @@ std::size_t ChunkStream::buffered() const {
 }
 
 double ChunkStream::consumer_wait_seconds() const {
-  return static_cast<double>(
-             consumer_wait_ns_.load(std::memory_order_relaxed)) *
-         1e-9;
+  const double sync_s = static_cast<double>(consumer_wait_ns_.load(
+                            std::memory_order_relaxed)) *
+                        1e-9;
+  return sync_s + (pipeline_ ? pipeline_->consumer_wait_seconds() : 0.0);
 }
 
 Index ChunkStream::total_chunks() const {

@@ -6,7 +6,9 @@
 //
 //   io      — readahead hint for the rows the NEXT prefetch_chunks chunks
 //             will decode (madvise(WILLNEED) on mmap'd shards, no-op for
-//             memory sources), so page faults overlap with compute;
+//             memory sources; rounded out to shuffle-window boundaries so
+//             gathers near window edges are covered too), so page faults
+//             overlap with compute;
 //   shuffle — deterministic windowed shuffle plan (data::WindowShuffle;
 //             off when shuffle_window == 0, preserving in-order feeding);
 //   decode  — materialize the chunk as float32 into a pooled buffer
@@ -89,9 +91,10 @@ class ChunkStream {
   /// (0 in synchronous mode) — the ring occupancy telemetry records.
   std::size_t buffered() const;
 
-  /// Total seconds next() spent blocked waiting for data — the pipeline
-  /// stall the consumer actually felt (in synchronous mode, the full
-  /// staging cost). Feeds the run summary's overlap_efficiency.
+  /// Total seconds next() spent blocked waiting for data — in background
+  /// mode the time parked on an empty ring (uncontended pops count as zero),
+  /// in synchronous mode the full staging cost. Feeds the run summary's
+  /// overlap_efficiency.
   double consumer_wait_seconds() const;
 
   Index chunk_examples() const { return config_.chunk_examples; }
@@ -106,7 +109,6 @@ class ChunkStream {
   Index cursor_ = 0;
   std::optional<WindowShuffle> shuffle_;
   std::vector<Index> index_buf_;  // loader-thread scratch for gather plans
-  std::unique_ptr<par::ChunkPipeline<la::Matrix>> pipeline_;
 
   // Buffer pool: consumed full-size chunks come back via recycle() and the
   // decode stage re-uses them (bounded at ring_chunks + 2 — ring plus one in
@@ -115,6 +117,12 @@ class ChunkStream {
   std::vector<la::Matrix> pool_;
 
   std::atomic<std::int64_t> consumer_wait_ns_{0};
+
+  // Declared last (and reset first in ~ChunkStream): the loader thread runs
+  // produce(), which touches every member above, so it must be joined before
+  // any of them is destroyed — including when the consumer abandons the
+  // stream mid-pass with the loader still ahead.
+  std::unique_ptr<par::ChunkPipeline<la::Matrix>> pipeline_;
 };
 
 }  // namespace deepphi::data

@@ -9,8 +9,8 @@
 //     backing store, chunk size, thread counts, or replica placement, which
 //     is what keeps sharded-vs-in-memory training bitwise identical;
 //   - rows of one window stay within one contiguous `window`-row span of
-//     the underlying source, so readahead over the next spans still covers
-//     every gather the decode stage performs.
+//     the underlying source, so window-aligned readahead over the upcoming
+//     spans covers every gather the decode stage performs.
 //
 // With window >= chunk_examples every chunk draws from at most two windows,
 // bounding the gather's working set to ~2 windows of pages.

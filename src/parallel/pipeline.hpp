@@ -44,10 +44,19 @@ class BoundedQueue {
   }
 
   /// Blocks while empty. Returns nullopt once the queue is closed *and*
-  /// drained.
+  /// drained. Time actually spent blocked (the condition wait, not lock or
+  /// move overhead) accumulates into pop_wait_seconds().
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty() && !closed_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      pop_wait_ns_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count(),
+          std::memory_order_relaxed);
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -70,6 +79,12 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Total seconds pop() sat blocked on an empty queue.
+  double pop_wait_seconds() const {
+    return static_cast<double>(pop_wait_ns_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mutex_;
@@ -77,6 +92,7 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::atomic<std::int64_t> pop_wait_ns_{0};
 };
 
 /// Runs `produce` on a dedicated loading thread. `produce` is called
@@ -131,6 +147,10 @@ class ChunkPipeline {
 
   /// Chunks currently buffered ahead of the consumer.
   std::size_t buffered() const { return queue_.size(); }
+
+  /// Total seconds pop() callers sat blocked on an empty ring — the stall
+  /// the consumer actually felt, excluding lock/move overhead.
+  double consumer_wait_seconds() const { return queue_.pop_wait_seconds(); }
 
   /// Total seconds the loader thread sat blocked on a full ring — high when
   /// production outruns the consumer (the healthy, fully-overlapped state).

@@ -540,6 +540,27 @@ TEST(ChunkStream, DestructionWithLoaderAheadJoinsCleanly) {
   SUCCEED();
 }
 
+TEST(ChunkStream, DestructionRacingActiveLoaderIsSafe) {
+  // Regression: ~ChunkStream must join the loader before pool_/pool_mutex_
+  // are destroyed — the loader's produce() -> acquire() touches both. Unlike
+  // the test above (loader parked in push), popping right before teardown
+  // unblocks the producer so destruction races a loader that is actively
+  // producing into a hot pool.
+  Dataset d(20000, 8);
+  for (int it = 0; it < 40; ++it) {
+    ChunkStreamConfig cfg;
+    cfg.chunk_examples = 64;
+    cfg.background = true;
+    cfg.ring_chunks = 2;
+    ChunkStream stream(d, cfg);
+    for (int k = 0; k <= it % 4; ++k) {
+      auto c = stream.next();
+      if (!c) break;
+      stream.recycle(std::move(*c));  // keep the pool non-empty for acquire()
+    }
+  }  // destructor runs with the loader possibly mid-produce
+}
+
 TEST(ChunkStream, RecycledBuffersAreReused) {
   Dataset d(64, 2);
   for (la::Index i = 0; i < d.size(); ++i)

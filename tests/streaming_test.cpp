@@ -13,6 +13,7 @@
 #include <fstream>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/data_parallel_trainer.hpp"
@@ -368,6 +369,79 @@ TEST(ChunkStream, ShuffledOrderIdenticalAcrossBackings) {
     if (!a) break;
     EXPECT_TRUE(a->approx_equal(*b, 0.0f, 0.0f));
   }
+}
+
+// Wraps a Dataset and records the io stage's readahead hints, so the hint
+// geometry (window alignment under shuffle) is testable.
+class RecordingSource final : public StreamingSource {
+ public:
+  explicit RecordingSource(const Dataset& d) : d_(d) {}
+  Index rows() const override { return d_.rows(); }
+  Index dim() const override { return d_.dim(); }
+  void copy_rows(Index begin, Index count, la::Matrix& out) const override {
+    d_.copy_rows(begin, count, out);
+  }
+  void copy_rows(const std::vector<Index>& indices,
+                 la::Matrix& out) const override {
+    d_.copy_rows(indices, out);
+  }
+  void prefetch(Index begin, Index count) const override {
+    hints.push_back({begin, count});
+  }
+  SourceInfo info() const override { return d_.info(); }
+
+  mutable std::vector<std::pair<Index, Index>> hints;
+
+ private:
+  const Dataset& d_;
+};
+
+TEST(ChunkStream, PrefetchHintsFollowTheStreamInOrder) {
+  const Dataset d(100, 2);
+  RecordingSource src(d);
+  ChunkStreamConfig cfg;
+  cfg.chunk_examples = 20;
+  cfg.prefetch_chunks = 2;
+  cfg.background = false;
+  ChunkStream stream(src, cfg);
+  while (stream.next()) {
+  }
+  // In-order feeding hints exactly the next prefetch_chunks chunks' rows,
+  // clamped to the end of the stream; the final chunk hints nothing.
+  const std::vector<std::pair<Index, Index>> want = {
+      {20, 40}, {40, 40}, {60, 40}, {80, 20}};
+  EXPECT_EQ(src.hints, want);
+}
+
+TEST(ChunkStream, ShuffledPrefetchHintsAreWindowAligned) {
+  const Dataset d(100, 2);
+  RecordingSource src(d);
+  ChunkStreamConfig cfg;
+  cfg.chunk_examples = 16;
+  cfg.shuffle_window = 24;
+  cfg.shuffle_seed = 5;
+  cfg.prefetch_chunks = 1;
+  cfg.background = false;
+  ChunkStream stream(src, cfg);
+  Index streamed = 0;
+  std::size_t hinted = 0;
+  while (auto c = stream.next()) {
+    const Index pos = streamed;  // stream position this chunk started at
+    streamed += c->rows();
+    if (streamed >= d.rows()) break;  // last chunk: nothing ahead to hint
+    ASSERT_LT(hinted, src.hints.size());
+    const auto [begin, count] = src.hints[hinted++];
+    const Index end = begin + count;
+    // Window-permuted gathers touch whole windows, so each hint must be
+    // rounded out to window boundaries (clamped at the stream end) and
+    // cover the raw upcoming span [streamed, +prefetch_chunks*chunk).
+    EXPECT_EQ(begin % cfg.shuffle_window, 0) << "hint after chunk at " << pos;
+    EXPECT_TRUE(end % cfg.shuffle_window == 0 || end == d.rows());
+    EXPECT_LE(begin, streamed);
+    EXPECT_GE(end, std::min(d.rows(),
+                            streamed + cfg.prefetch_chunks * cfg.chunk_examples));
+  }
+  EXPECT_EQ(hinted, src.hints.size());
 }
 
 // --- typed IoError paths of the flat-file loaders ---
